@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness (one benchmark per table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep benchmarks in figure/table order for readable reports."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """Workload profiles shared by every figure benchmark."""
+    from repro.eval import workload_profiles
+
+    return workload_profiles()

@@ -1,0 +1,14 @@
+"""Figure 7: AES-128 throughput of digital, naive hybrid, and analog+CPU PUM."""
+
+from repro.eval import figure07_naive_hybrid
+
+
+def test_fig07_naive_hybrid(benchmark):
+    data = benchmark(figure07_naive_hybrid)
+    labels = data["labels"]
+    print("\nFigure 7: AES-128 throughput normalised to D (OSCAR)")
+    for index, label in enumerate(labels):
+        print(f"  {label:<22} OSCAR {data['oscar'][index]:6.2f}   ideal {data['ideal'][index]:6.2f}")
+    peak = max(data["oscar"][1:-1])
+    assert peak > data["oscar"][0]          # hybrid beats pure digital
+    assert peak > data["oscar"][-1]         # hybrid beats analog+CPU

@@ -1,0 +1,10 @@
+"""Figure 13: iso-area throughput normalised to the analog+CPU Baseline."""
+
+from repro.eval import figure13_throughput, format_table
+
+
+def test_fig13_throughput(benchmark):
+    data = benchmark(figure13_throughput)
+    print("\n" + format_table(data, title="Figure 13: throughput vs Baseline"))
+    assert data["darth_pum"]["AES"] > 25
+    assert data["darth_pum"]["GeoMean"] > data["digital_pum"]["GeoMean"]

@@ -1,0 +1,10 @@
+"""Figure 14: AES kernel latency breakdown normalised to Baseline."""
+
+from repro.eval import figure14_aes_breakdown, format_table
+
+
+def test_fig14_aes_breakdown(benchmark):
+    data = benchmark(figure14_aes_breakdown)
+    print("\n" + format_table(data, title="Figure 14: AES kernel latency (% of Baseline total)"))
+    assert abs(sum(data["baseline"].values()) - 100.0) < 1.0
+    assert data["darth_pum"]["MixColumns"] < data["digital_pum"]["MixColumns"]

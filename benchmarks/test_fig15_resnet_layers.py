@@ -1,0 +1,13 @@
+"""Figure 15: per-layer ResNet-20 speedup over Baseline."""
+
+from repro.eval import figure15_resnet_layers, format_table
+
+
+def test_fig15_resnet_layers(benchmark):
+    data = benchmark(figure15_resnet_layers)
+    print("\n" + format_table(
+        {layer: {arch: data[arch][layer] for arch in data} for layer in data["darth_pum"]},
+        title="Figure 15: per-layer speedup over Baseline",
+    ))
+    assert data["darth_pum"]["GeoMean"] > 1
+    assert len(data["darth_pum"]) == 23

@@ -1,0 +1,10 @@
+"""Figure 16: energy savings over Baseline (log scale in the paper)."""
+
+from repro.eval import figure16_energy, format_table
+
+
+def test_fig16_energy(benchmark):
+    data = benchmark(figure16_energy)
+    print("\n" + format_table(data, title="Figure 16: energy savings vs Baseline"))
+    assert data["darth_pum"]["GeoMean"] > 20
+    assert data["darth_pum"]["GeoMean"] > data["digital_pum"]["GeoMean"]

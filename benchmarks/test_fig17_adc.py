@@ -1,0 +1,14 @@
+"""Figure 17: SAR vs ramp ADC throughput and energy for DARTH-PUM."""
+
+from repro.eval import figure17_adc_comparison, format_table
+
+
+def test_fig17_adc_comparison(benchmark):
+    data = benchmark(figure17_adc_comparison)
+    print("\n" + format_table(data["throughput"], title="Figure 17a: throughput vs Baseline"))
+    print("\n" + format_table(data["energy"], title="Figure 17b: energy savings vs Baseline"))
+    sar = data["throughput"]["darth_pum_sar"]["GeoMean"]
+    ramp = data["throughput"]["darth_pum_ramp"]["GeoMean"]
+    assert sar > ramp                                       # SAR wins overall
+    assert data["throughput"]["darth_pum_ramp"]["AES"] >= \
+        0.99 * data["throughput"]["darth_pum_sar"]["AES"]   # except for AES

@@ -1,0 +1,10 @@
+"""Figure 18: iso-area comparison with an RTX 4090-class GPU."""
+
+from repro.eval import figure18_gpu_comparison, format_table
+
+
+def test_fig18_gpu_comparison(benchmark):
+    data = benchmark(figure18_gpu_comparison)
+    print("\n" + format_table(data, title="Figure 18: DARTH-PUM / DigitalPUM vs GPU"))
+    assert data["darth_pum_speedup"]["GeoMean"] > 1
+    assert data["darth_pum_energy"]["GeoMean"] > 1

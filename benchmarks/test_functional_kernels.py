@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the functional simulator itself (not a paper figure).
+
+These keep the cost of the functional building blocks visible: a hybrid MVM
+on one tile, a digital-PUM word operation, and one AES round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HctConfig, HybridComputeTile
+from repro.digital import BitPipeline
+from repro.workloads.aes import DarthPumAes
+
+
+@pytest.fixture(scope="module")
+def tile():
+    return HybridComputeTile(HctConfig.small())
+
+
+def test_bench_hybrid_mvm(benchmark, tile):
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(-8, 8, size=(16, 16))
+    handle = tile.set_matrix(matrix, value_bits=4, bits_per_cell=2)
+    vector = rng.integers(0, 15, size=16)
+    result = benchmark(lambda: tile.execute_mvm(handle, vector, input_bits=4))
+    assert np.array_equal(result.values, vector @ matrix)
+
+
+def test_bench_digital_add(benchmark):
+    pipeline = BitPipeline(depth=32, rows=64, cols=32)
+    rng = np.random.default_rng(1)
+    pipeline.write_vr(0, rng.integers(0, 2 ** 31, size=64))
+    pipeline.write_vr(1, rng.integers(0, 2 ** 31, size=64))
+    benchmark(lambda: pipeline.add(2, 0, 1))
+
+
+def test_bench_aes_block_on_tile(benchmark):
+    engine = DarthPumAes()
+    plaintext = bytes(range(16))
+    key = bytes(range(16, 32))
+    ciphertext = benchmark.pedantic(
+        lambda: engine.encrypt_bytes(plaintext, key), rounds=1, iterations=1
+    )
+    from repro.workloads.aes import encrypt_block
+
+    assert ciphertext == bytes(encrypt_block(plaintext, key))

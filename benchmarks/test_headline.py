@@ -1,0 +1,14 @@
+"""Headline results: the abstract's speedups and energy savings vs Baseline."""
+
+from repro.eval import headline_results
+
+
+def test_headline(benchmark):
+    results = benchmark(headline_results)
+    print("\nHeadline speedups (paper: AES 59.4x, ResNet-20 14.8x, LLMEnc 40.8x):")
+    print("  measured:", {k: round(v, 1) for k, v in results["speedup"].items()})
+    print("Headline energy savings (paper: 39.6x, 51.2x, 110.7x):")
+    print("  measured:", {k: round(v, 1) for k, v in results["energy_savings"].items()})
+    for workload, paper_value in results["paper_speedup"].items():
+        measured = results["speedup"][workload]
+        assert paper_value / 2 < measured < paper_value * 2

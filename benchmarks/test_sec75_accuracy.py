@@ -1,0 +1,9 @@
+"""Section 7.5: ResNet-20 accuracy under analog non-idealities."""
+
+from repro.eval import section75_accuracy
+
+
+def test_sec75_accuracy(benchmark):
+    result = benchmark.pedantic(section75_accuracy, kwargs={"samples": 16}, rounds=1, iterations=1)
+    print("\nSection 7.5 accuracy-under-noise:", result)
+    assert result["prediction_agreement"] >= 0.75

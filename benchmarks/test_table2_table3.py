@@ -1,0 +1,17 @@
+"""Tables 2 and 3: HCT configuration and area/power model."""
+
+from repro.eval import table2_configuration, table3_area_power
+
+
+def test_table2_configuration(benchmark):
+    table = benchmark(table2_configuration)
+    print("\nTable 2:", table)
+    assert table["dce_num_pipelines"] == 64
+    assert table["ace_num_arrays"] == 64
+
+
+def test_table3_area_power(benchmark):
+    table = benchmark(table3_area_power)
+    print("\nTable 3:", table)
+    assert table["iso_area_hcts"] == {"sar": 1860, "ramp": 1660}
+    assert 3.0 < table["chip_capacity_gb"]["sar"] < 5.0

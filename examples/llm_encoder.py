@@ -1,0 +1,62 @@
+"""LLM (transformer) encoder on DARTH-PUM (Section 5.2).
+
+Runs a reduced transformer encoder functionally with I-BERT integer kernels,
+pushes one projection matrix through a real hybrid compute tile, and prints
+the BERT-base-scale mapping and the throughput/energy model results that
+feed Figures 13 and 16.
+
+Run with:  python examples/llm_encoder.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import model_for
+from repro.core import HctConfig, HybridComputeTile
+from repro.workloads.llm import (
+    EncoderConfig,
+    LlmMapping,
+    TransformerEncoder,
+    encoder_profile,
+    run_projection_on_tile,
+)
+
+
+def main() -> None:
+    # Functional encoder with integer (I-BERT) kernels.
+    config = EncoderConfig.tiny()
+    encoder = TransformerEncoder(config)
+    rng = np.random.default_rng(0)
+    tokens = rng.normal(size=(config.sequence_length, config.hidden_size))
+    float_out = encoder.forward(tokens)
+    integer_out = encoder.forward(tokens, integer_kernels=True)
+    drift = np.abs(float_out - integer_out).mean() / np.abs(float_out).mean()
+    print(f"tiny encoder: integer-kernel output drift {drift * 100:.2f}% vs float")
+
+    # One Q-projection through a real hybrid compute tile.
+    tile = HybridComputeTile(HctConfig.small())
+    weight = rng.normal(size=(24, 12))
+    activations = rng.normal(size=(4, 24))
+    device, reference = run_projection_on_tile(tile, weight, activations)
+    error = np.abs(device - reference).max() / (np.abs(reference).max() + 1e-9)
+    print(f"projection on a hybrid tile: max relative error {error:.3f}")
+
+    # BERT-base-scale mapping and the performance model.
+    bert = EncoderConfig.bert_base()
+    mapping = LlmMapping(bert)
+    profile = encoder_profile(bert)
+    print(f"\nBERT-base encoder: {mapping.weight_bytes / 1e6:.1f} MB of static weights, "
+          f"{mapping.total_hcts} HCTs to keep them resident")
+    print(f"MACs per sequence: {profile.total_macs / 1e9:.2f} G, "
+          f"non-linear element ops: {profile.nonlinear_ops / 1e6:.1f} M")
+
+    baseline = model_for("baseline", "llm_encoder").evaluate(profile)
+    darth = model_for("darth_pum", "llm_encoder").evaluate(profile)
+    print(f"\nmodelled speedup over the analog+CPU baseline: "
+          f"{darth.speedup_over(baseline):.1f}x (paper: 40.8x)")
+    print(f"modelled energy savings: {darth.energy_savings_over(baseline):.1f}x (paper: 110.7x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Analog PUM substrate: crossbar MVM, periphery, bit-slicing, compensation."""
+
+from .ace import AceConfig, AnalogComputeElement, MatrixHandle, MvmExecution, PartialProduct
+from .adc import AdcSpec, AnalogToDigitalConverter, RampAdc, SarAdc, make_adc
+from .bitslicing import ShiftAddPlan, ShiftAddStep, recombine, slice_inputs, slice_matrix
+from .compensation import CompensationPlan, ParasiticCompensation
+from .crossbar import AnalogCrossbar, CrossbarOutput
+from .dac import DacSpec, DigitalToAnalogConverter
+from .numbers import DifferentialPairs, EncodedMatrix, OffsetSubtraction
+
+__all__ = [
+    "AceConfig",
+    "AdcSpec",
+    "AnalogComputeElement",
+    "AnalogCrossbar",
+    "AnalogToDigitalConverter",
+    "CompensationPlan",
+    "CrossbarOutput",
+    "DacSpec",
+    "DifferentialPairs",
+    "DigitalToAnalogConverter",
+    "EncodedMatrix",
+    "MatrixHandle",
+    "MvmExecution",
+    "OffsetSubtraction",
+    "ParasiticCompensation",
+    "PartialProduct",
+    "RampAdc",
+    "SarAdc",
+    "ShiftAddPlan",
+    "ShiftAddStep",
+    "make_adc",
+    "recombine",
+    "slice_inputs",
+    "slice_matrix",
+]

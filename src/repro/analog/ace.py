@@ -1,0 +1,368 @@
+"""The Analog Compute Element (ACE) of a hybrid compute tile.
+
+An ACE bundles 64 analog crossbars with their input buffers, wordline
+drivers, and ADCs (Table 2).  Matrices are programmed once -- tiled over
+arrays by rows, columns, and weight bit slices -- and then reused by many
+MVMs, because programming multi-bit analog devices is slow and energetic
+(Section 4.1).  ``execute_mvm`` applies the input one bit per cycle and
+emits the stream of per-bit partial products that the hybrid compute tile
+forwards (through its shift units) to the digital compute element for
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError, CapacityError, QuantizationError
+from ..metrics import CostLedger
+from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
+from .adc import AdcSpec, AnalogToDigitalConverter, make_adc
+from .bitslicing import ShiftAddPlan, slice_inputs, slice_matrix
+from .crossbar import AnalogCrossbar
+from .dac import DigitalToAnalogConverter
+from .numbers import DifferentialPairs, OffsetSubtraction
+
+__all__ = ["AceConfig", "AnalogComputeElement", "MatrixHandle", "PartialProduct", "MvmExecution"]
+
+
+@dataclass(frozen=True)
+class AceConfig:
+    """Geometry and periphery of an analog compute element (Table 2)."""
+
+    num_arrays: int = 64
+    array_rows: int = 64
+    array_cols: int = 64
+    adc_kind: str = "sar"
+    #: ADCs per active array: 2 SAR or 1 ramp (Table 2).
+    adcs_per_array: int = 2
+    row_periphery_power_mw: float = 0.7
+    input_buffer_area_um2: float = 27000.0
+
+    @property
+    def adc_latency_label(self) -> str:
+        """Human-readable ADC configuration label."""
+        return f"{self.adc_kind.upper()} x{self.adcs_per_array}"
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A matrix programmed into one or more analog arrays."""
+
+    handle_id: int
+    shape: Tuple[int, int]
+    value_bits: int
+    bits_per_cell: int
+    signed: bool
+    representation: str
+    row_tiles: int
+    col_tiles: int
+    num_slices: int
+    array_ids: Tuple[int, ...]
+
+    @property
+    def arrays_used(self) -> int:
+        """Number of analog arrays occupied by this matrix."""
+        return len(self.array_ids)
+
+
+@dataclass(frozen=True)
+class PartialProduct:
+    """One ADC output vector produced during a bit-sliced MVM."""
+
+    values: np.ndarray
+    shift: int
+    input_bit: int
+    weight_slice: int
+    row_tile: int
+    col_tile: int
+    col_offset: int
+
+
+@dataclass
+class MvmExecution:
+    """The full partial-product stream and cost of one analog MVM."""
+
+    handle: MatrixHandle
+    partials: List[PartialProduct] = field(default_factory=list)
+    plan: Optional[ShiftAddPlan] = None
+    analog_cycles: float = 0.0
+    analog_energy_pj: float = 0.0
+
+    def reduce(self) -> np.ndarray:
+        """Functionally reduce the partial products (reference reduction).
+
+        On hardware this reduction is what the DCE performs; the method is
+        used by tests and by the runtime's ``disableDigitalMode`` path.
+        """
+        rows, cols = self.handle.shape
+        result = np.zeros(cols, dtype=np.int64)
+        for partial in self.partials:
+            width = partial.values.shape[0]
+            segment = np.rint(partial.values).astype(np.int64) << partial.shift
+            result[partial.col_offset: partial.col_offset + width] += segment
+        return result
+
+
+class AnalogComputeElement:
+    """64 analog crossbars plus the shared periphery of one HCT."""
+
+    def __init__(
+        self,
+        config: Optional[AceConfig] = None,
+        device: Optional[DeviceParameters] = None,
+        noise: Optional[NoiseConfig] = None,
+        parasitics: Optional[ParasiticModel] = None,
+        adc_spec: Optional[AdcSpec] = None,
+        ledger: Optional[CostLedger] = None,
+    ) -> None:
+        self.config = config if config is not None else AceConfig()
+        self.device = device if device is not None else DeviceParameters()
+        self.noise_config = noise if noise is not None else NoiseConfig.ideal()
+        self.parasitics = parasitics
+        self.adc_spec = adc_spec
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self._crossbars: Dict[int, AnalogCrossbar] = {}
+        self._free_arrays = list(range(self.config.num_arrays))
+        self._handles: Dict[int, MatrixHandle] = {}
+        self._matrices: Dict[int, np.ndarray] = {}
+        self._next_handle = 0
+        self.enabled = True
+
+    # ------------------------------------------------------------------ #
+    # Array / ADC management                                               #
+    # ------------------------------------------------------------------ #
+    @property
+    def arrays_free(self) -> int:
+        """Number of analog arrays not yet allocated to a matrix."""
+        return len(self._free_arrays)
+
+    @property
+    def arrays_used(self) -> int:
+        """Number of analog arrays currently holding matrix slices."""
+        return self.config.num_arrays - len(self._free_arrays)
+
+    def _make_adc(self, bits_per_cell: int) -> AnalogToDigitalConverter:
+        max_sum = self.config.array_rows * (2 ** bits_per_cell - 1)
+        return make_adc(
+            self.config.adc_kind, min_value=-max_sum, max_value=max_sum, spec=self.adc_spec
+        )
+
+    def _allocate_crossbar(self, bits_per_cell: int) -> Tuple[int, AnalogCrossbar]:
+        if not self._free_arrays:
+            raise AllocationError("no free analog arrays remain in this ACE")
+        array_id = self._free_arrays.pop(0)
+        crossbar = AnalogCrossbar(
+            rows=self.config.array_rows,
+            cols=self.config.array_cols,
+            bits_per_cell=bits_per_cell,
+            device=self.device,
+            noise=self.noise_config,
+            parasitics=self.parasitics,
+            adc=self._make_adc(bits_per_cell),
+            num_adcs=self.config.adcs_per_array,
+            dac=DigitalToAnalogConverter(),
+            ledger=self.ledger,
+            row_periphery_power_mw=self.config.row_periphery_power_mw,
+        )
+        self._crossbars[array_id] = crossbar
+        return array_id, crossbar
+
+    def crossbar(self, array_id: int) -> AnalogCrossbar:
+        """Return the crossbar occupying array slot ``array_id``."""
+        return self._crossbars[array_id]
+
+    # ------------------------------------------------------------------ #
+    # Matrix programming                                                   #
+    # ------------------------------------------------------------------ #
+    def arrays_needed(self, shape: Tuple[int, int], value_bits: int, bits_per_cell: int) -> int:
+        """How many arrays a matrix of ``shape`` would occupy."""
+        rows, cols = shape
+        row_tiles = int(np.ceil(rows / self.config.array_rows))
+        col_tiles = int(np.ceil(cols / self.config.array_cols))
+        num_slices = int(np.ceil(value_bits / bits_per_cell))
+        return row_tiles * col_tiles * num_slices
+
+    def set_matrix(
+        self,
+        matrix: np.ndarray,
+        value_bits: int = 8,
+        bits_per_cell: int = 1,
+        representation: str = "differential",
+    ) -> MatrixHandle:
+        """Tile, encode, bit-slice, and program ``matrix`` into analog arrays.
+
+        The matrix is stored column-major over the bitlines: each output
+        element of an MVM corresponds to one bitline of one column tile.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise QuantizationError("set_matrix expects a 2-D matrix")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise QuantizationError("set_matrix expects an integer (quantised) matrix")
+        if bits_per_cell > self.device.max_bits_per_cell:
+            raise QuantizationError(
+                f"bits_per_cell {bits_per_cell} exceeds the device maximum "
+                f"{self.device.max_bits_per_cell}"
+            )
+        rows, cols = matrix.shape
+        needed = self.arrays_needed((rows, cols), value_bits, bits_per_cell)
+        if needed > self.arrays_free:
+            raise CapacityError(
+                f"matrix needs {needed} arrays but only {self.arrays_free} are free"
+            )
+
+        signed = bool(np.any(matrix < 0))
+        if representation == "differential":
+            encoder = DifferentialPairs(value_bits)
+        elif representation == "offset":
+            encoder = OffsetSubtraction(value_bits)
+        else:
+            raise QuantizationError(f"unknown representation {representation!r}")
+        encoded = encoder.encode(matrix.astype(np.int64))
+
+        row_tiles = int(np.ceil(rows / self.config.array_rows))
+        col_tiles = int(np.ceil(cols / self.config.array_cols))
+        pos_slices = slice_matrix(encoded.positive, value_bits, bits_per_cell)
+        neg_slices = slice_matrix(encoded.negative, value_bits, bits_per_cell)
+
+        array_ids: List[int] = []
+        for row_tile in range(row_tiles):
+            r0 = row_tile * self.config.array_rows
+            r1 = min(rows, r0 + self.config.array_rows)
+            for col_tile in range(col_tiles):
+                c0 = col_tile * self.config.array_cols
+                c1 = min(cols, c0 + self.config.array_cols)
+                for pos_slice, neg_slice in zip(pos_slices, neg_slices):
+                    array_id, crossbar = self._allocate_crossbar(bits_per_cell)
+                    crossbar.program_differential(
+                        pos_slice[r0:r1, c0:c1], neg_slice[r0:r1, c0:c1]
+                    )
+                    array_ids.append(array_id)
+
+        handle = MatrixHandle(
+            handle_id=self._next_handle,
+            shape=(rows, cols),
+            value_bits=value_bits,
+            bits_per_cell=bits_per_cell,
+            signed=signed,
+            representation=representation,
+            row_tiles=row_tiles,
+            col_tiles=col_tiles,
+            num_slices=len(pos_slices),
+            array_ids=tuple(array_ids),
+        )
+        self._handles[handle.handle_id] = handle
+        self._matrices[handle.handle_id] = matrix.astype(np.int64)
+        self._next_handle += 1
+        return handle
+
+    def update_row(self, handle: MatrixHandle, row: int, values: np.ndarray) -> MatrixHandle:
+        """Re-program a single matrix row (updateRow library call)."""
+        matrix = self._matrices[handle.handle_id].copy()
+        matrix[row, :] = np.asarray(values, dtype=np.int64)
+        return self._reprogram(handle, matrix)
+
+    def update_col(self, handle: MatrixHandle, col: int, values: np.ndarray) -> MatrixHandle:
+        """Re-program a single matrix column (updateCol library call)."""
+        matrix = self._matrices[handle.handle_id].copy()
+        matrix[:, col] = np.asarray(values, dtype=np.int64)
+        return self._reprogram(handle, matrix)
+
+    def _reprogram(self, handle: MatrixHandle, matrix: np.ndarray) -> MatrixHandle:
+        self.release(handle)
+        return self.set_matrix(
+            matrix,
+            value_bits=handle.value_bits,
+            bits_per_cell=handle.bits_per_cell,
+            representation=handle.representation,
+        )
+
+    def release(self, handle: MatrixHandle) -> None:
+        """Free the arrays used by ``handle`` (disableAnalogMode path)."""
+        for array_id in handle.array_ids:
+            self._crossbars.pop(array_id, None)
+            self._free_arrays.append(array_id)
+        self._free_arrays.sort()
+        self._handles.pop(handle.handle_id, None)
+        self._matrices.pop(handle.handle_id, None)
+
+    def stored_matrix(self, handle: MatrixHandle) -> np.ndarray:
+        """The quantised integer matrix associated with ``handle``."""
+        return self._matrices[handle.handle_id].copy()
+
+    # ------------------------------------------------------------------ #
+    # MVM execution                                                        #
+    # ------------------------------------------------------------------ #
+    def execute_mvm(
+        self,
+        handle: MatrixHandle,
+        vector: np.ndarray,
+        input_bits: int = 8,
+        active_adc_bits: Optional[int] = None,
+    ) -> MvmExecution:
+        """Run ``vector @ matrix`` through the analog arrays bit-serially.
+
+        Returns the partial-product stream; the caller (HCT) is responsible
+        for the shift-and-add reduction in the digital domain.
+        """
+        if not self.enabled:
+            raise AllocationError("the ACE of this tile has been disabled")
+        vector = np.asarray(vector, dtype=np.int64)
+        rows, cols = handle.shape
+        if vector.shape != (rows,):
+            raise QuantizationError(
+                f"input vector of shape {vector.shape} does not match matrix rows ({rows})"
+            )
+        bit_vectors = slice_inputs(vector, input_bits)
+        plan = ShiftAddPlan(
+            input_bits=input_bits,
+            weight_slices=handle.num_slices,
+            bits_per_cell=handle.bits_per_cell,
+        )
+        execution = MvmExecution(handle=handle, plan=plan)
+
+        array_index = 0
+        array_grid: Dict[Tuple[int, int, int], int] = {}
+        for row_tile in range(handle.row_tiles):
+            for col_tile in range(handle.col_tiles):
+                for weight_slice in range(handle.num_slices):
+                    array_grid[(row_tile, col_tile, weight_slice)] = handle.array_ids[array_index]
+                    array_index += 1
+
+        start = self.ledger.snapshot()
+        for input_bit, bit_vector in enumerate(bit_vectors):
+            for row_tile in range(handle.row_tiles):
+                r0 = row_tile * self.config.array_rows
+                r1 = min(rows, r0 + self.config.array_rows)
+                tile_bits = bit_vector[r0:r1]
+                for col_tile in range(handle.col_tiles):
+                    c0 = col_tile * self.config.array_cols
+                    for weight_slice in range(handle.num_slices):
+                        array_id = array_grid[(row_tile, col_tile, weight_slice)]
+                        output = self._crossbars[array_id].mvm_1bit(
+                            tile_bits, active_adc_bits=active_adc_bits
+                        )
+                        execution.partials.append(
+                            PartialProduct(
+                                values=output.values,
+                                shift=input_bit + weight_slice * handle.bits_per_cell,
+                                input_bit=input_bit,
+                                weight_slice=weight_slice,
+                                row_tile=row_tile,
+                                col_tile=col_tile,
+                                col_offset=c0,
+                            )
+                        )
+        end = self.ledger.snapshot()
+        execution.analog_cycles = end.cycles - start.cycles
+        execution.analog_energy_pj = end.energy_pj - start.energy_pj
+        return execution
+
+    def expected_mvm(self, handle: MatrixHandle, vector: np.ndarray) -> np.ndarray:
+        """Noise-free reference ``vector @ matrix`` (used by tests and the runtime)."""
+        matrix = self._matrices[handle.handle_id]
+        return np.asarray(vector, dtype=np.int64) @ matrix

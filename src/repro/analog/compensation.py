@@ -1,0 +1,103 @@
+"""Parasitic compensation scheme (Section 4.3).
+
+Strictly positive binary matrices (like the AES MixColumns matrix) stored
+with differential cells put all of the current on the positive bitline,
+producing IR drops large enough to flip ADC outputs.  DARTH-PUM's scheme has
+two parts:
+
+1. **Remapping**: the bit values 0/1 are remapped to -1/+1 (equivalently
+   -0.5/+0.5 after range scaling), so current flows down both bitlines and
+   largely cancels, bringing the residual IR drop below one ADC LSB.
+2. **Compensation factor**: because the remapped matrix computes
+   ``sum(x * (2*w - 1)) / 2`` instead of ``sum(x * w)``, a post-MVM factor of
+   ``popcount(x) / 2`` must be added back -- a cheap vector ADD in the nearby
+   DCE.  For AES the input always has exactly four ones, so the factor is a
+   constant 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+__all__ = ["ParasiticCompensation", "CompensationPlan"]
+
+
+@dataclass(frozen=True)
+class CompensationPlan:
+    """Everything needed to undo the remapping after the MVM.
+
+    ``result = (raw + popcount(inputs)) // 2`` where ``raw`` is the signed
+    ADC output of the remapped matrix.  When ``fixed_input_ones`` is set the
+    compensation factor is a compile-time constant (the AES case).
+    """
+
+    scale: int = 2
+    fixed_input_ones: int | None = None
+
+    def factor(self, inputs: np.ndarray) -> int:
+        """The additive compensation factor for the given input vector."""
+        if self.fixed_input_ones is not None:
+            return self.fixed_input_ones
+        inputs = np.asarray(inputs)
+        return int(np.count_nonzero(inputs))
+
+    def apply(self, raw: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Recover the true binary-matrix MVM result from the remapped result."""
+        raw = np.asarray(raw, dtype=np.int64)
+        return (raw + self.factor(inputs)) // self.scale
+
+
+class ParasiticCompensation:
+    """Remaps binary matrices to balanced +/-1 differential form."""
+
+    def __init__(self, fixed_input_ones: int | None = None) -> None:
+        self.plan = CompensationPlan(scale=2, fixed_input_ones=fixed_input_ones)
+
+    def remap(self, matrix01: np.ndarray) -> np.ndarray:
+        """Remap a 0/1 matrix to a -1/+1 matrix for differential programming.
+
+        The remapped matrix ``M' = 2*M - 1`` satisfies
+        ``x @ M = (x @ M' + popcount(x)) / 2`` for binary inputs ``x``.
+        """
+        matrix01 = np.asarray(matrix01)
+        if not np.issubdtype(matrix01.dtype, np.integer):
+            raise QuantizationError("remap expects an integer 0/1 matrix")
+        if np.any((matrix01 != 0) & (matrix01 != 1)):
+            raise QuantizationError("remap expects a strictly binary matrix")
+        return (2 * matrix01 - 1).astype(np.int64)
+
+    def remap_differential(self, matrix01: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Positive/negative device planes of the remapped matrix."""
+        remapped = self.remap(matrix01)
+        positive = np.where(remapped > 0, remapped, 0)
+        negative = np.where(remapped < 0, -remapped, 0)
+        return positive, negative
+
+    def recover(self, raw: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Apply the post-MVM compensation factor (done in the DCE)."""
+        return self.plan.apply(raw, inputs)
+
+    def ir_drop_improvement(self, matrix01: np.ndarray, parasitics, inputs: np.ndarray | None = None) -> float:
+        """Ratio of worst-case IR drop before vs after remapping.
+
+        A value greater than 1 means the remapping reduced the worst-case
+        bitline drop, which is the mechanism Section 4.3 relies on.
+        """
+        matrix01 = np.asarray(matrix01, dtype=np.int64)
+        rows = matrix01.shape[0]
+        inputs = np.ones(rows) if inputs is None else np.asarray(inputs, dtype=float)
+        # Effective current load per bitline is proportional to the number of
+        # activated on-state devices on the positive line.  The remapping also
+        # halves the programmed range ([-1, 1] -> [-0.5, 0.5]), so the
+        # positive-line current is at most half of the naive mapping's.
+        naive_load = (matrix01 * inputs[:, None]).sum(axis=0).max()
+        positive, _ = self.remap_differential(matrix01)
+        remapped_load = 0.5 * (positive * inputs[:, None]).sum(axis=0).max()
+        if remapped_load == 0:
+            return float("inf") if naive_load > 0 else 1.0
+        return float(naive_load) / float(remapped_load)

@@ -1,0 +1,198 @@
+"""A single analog ReRAM crossbar performing in-array MVM (Figure 1).
+
+The crossbar stores one weight *bit slice* per device column pair (when a
+differential encoding is used) and executes one-bit-input MVMs: the input
+bit vector is applied to the wordlines, Ohm's law multiplies each bit by its
+device conductance, and Kirchhoff's current law sums the currents down every
+bitline.  The resulting column currents are normalised by the LSB
+conductance (value domain) and digitised by an ADC model.
+
+The functional path is exact in the absence of noise: programming the slice
+``W`` and applying input bits ``x`` returns ``x @ W`` once quantised by an
+ADC whose range covers the possible sums.  Enabling the noise stack and the
+parasitic model perturbs the conductances exactly the way the paper's
+CrossSim+MILO methodology does, which is what the accuracy experiments
+(Section 7.5) and the parasitic-compensation scheme (Section 4.3) exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CapacityError, DeviceError
+from ..metrics import CostLedger
+from ..reram import ConductanceMapper, DeviceParameters, NoiseConfig, NoiseStack, ParasiticModel
+from .adc import AnalogToDigitalConverter, SarAdc
+from .dac import DigitalToAnalogConverter
+
+__all__ = ["AnalogCrossbar", "CrossbarOutput"]
+
+
+@dataclass(frozen=True)
+class CrossbarOutput:
+    """Result of one one-bit-input MVM over a crossbar.
+
+    Attributes
+    ----------
+    values:
+        Signed partial products per bitline (value domain, post-ADC).
+    latency_cycles:
+        Cycles spent driving, settling, and converting.
+    energy_pj:
+        Energy spent in the array, periphery, and ADC.
+    """
+
+    values: np.ndarray
+    latency_cycles: float
+    energy_pj: float
+
+
+class AnalogCrossbar:
+    """A ``rows x cols`` multi-level-cell analog crossbar with periphery."""
+
+    def __init__(
+        self,
+        rows: int = 64,
+        cols: int = 64,
+        bits_per_cell: int = 1,
+        device: Optional[DeviceParameters] = None,
+        noise: Optional[NoiseConfig] = None,
+        parasitics: Optional[ParasiticModel] = None,
+        adc: Optional[AnalogToDigitalConverter] = None,
+        num_adcs: int = 2,
+        dac: Optional[DigitalToAnalogConverter] = None,
+        ledger: Optional[CostLedger] = None,
+        row_periphery_power_mw: float = 0.7,
+        sample_hold_energy_pj: float = 2.1e-5,
+    ) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.bits_per_cell = int(bits_per_cell)
+        self.device = device if device is not None else DeviceParameters()
+        self.noise = NoiseStack(self.device, noise if noise is not None else NoiseConfig.ideal())
+        self.parasitics = parasitics
+        self.mapper = ConductanceMapper(self.device, self.bits_per_cell)
+        max_sum = self.rows * (2 ** self.bits_per_cell - 1)
+        self.adc = adc if adc is not None else SarAdc(min_value=-max_sum, max_value=max_sum)
+        self.num_adcs = int(num_adcs)
+        self.dac = dac if dac is not None else DigitalToAnalogConverter()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.row_periphery_power_mw = row_periphery_power_mw
+        self.sample_hold_energy_pj = sample_hold_energy_pj
+
+        self._positive_levels: Optional[np.ndarray] = None
+        self._negative_levels: Optional[np.ndarray] = None
+        self._positive_g: Optional[np.ndarray] = None
+        self._negative_g: Optional[np.ndarray] = None
+        #: Number of MVM operations executed (utilisation statistics).
+        self.mvm_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Programming                                                          #
+    # ------------------------------------------------------------------ #
+    @property
+    def is_programmed(self) -> bool:
+        """Whether a matrix slice has been written into the array."""
+        return self._positive_g is not None
+
+    def program(self, levels: np.ndarray) -> None:
+        """Program a non-negative integer slice into the positive devices only."""
+        zeros = np.zeros_like(np.asarray(levels, dtype=np.int64))
+        self.program_differential(levels, zeros)
+
+    def program_differential(self, positive: np.ndarray, negative: np.ndarray) -> None:
+        """Program positive and negative device planes (differential pairs)."""
+        positive = np.asarray(positive, dtype=np.int64)
+        negative = np.asarray(negative, dtype=np.int64)
+        if positive.shape != negative.shape:
+            raise DeviceError("positive and negative slices must have the same shape")
+        if positive.shape[0] > self.rows or positive.shape[1] > self.cols:
+            raise CapacityError(
+                f"slice of shape {positive.shape} does not fit a "
+                f"{self.rows}x{self.cols} crossbar"
+            )
+        self._positive_levels = positive
+        self._negative_levels = negative
+        ideal_pos = self.mapper.value_to_conductance(positive)
+        ideal_neg = self.mapper.value_to_conductance(negative)
+        self._positive_g = self.noise.program(ideal_pos)
+        self._negative_g = self.noise.program(ideal_neg)
+        cells = 2 * positive.size
+        self.ledger.charge(
+            "ace.program",
+            cycles=self.device.program_latency_cycles,
+            energy_pj=cells * self.device.program_energy_pj,
+        )
+
+    @property
+    def programmed_shape(self) -> tuple:
+        """Shape of the currently programmed slice."""
+        if self._positive_levels is None:
+            raise DeviceError("crossbar has not been programmed")
+        return self._positive_levels.shape
+
+    # ------------------------------------------------------------------ #
+    # One-bit-input MVM                                                    #
+    # ------------------------------------------------------------------ #
+    def mvm_1bit(self, input_bits: np.ndarray, active_adc_bits: Optional[int] = None) -> CrossbarOutput:
+        """Apply a binary input vector to the wordlines and digitise the columns.
+
+        Parameters
+        ----------
+        input_bits:
+            0/1 vector of length ``programmed rows``.
+        active_adc_bits:
+            Optional early-termination hint forwarded to ramp ADCs.
+        """
+        if self._positive_g is None or self._negative_g is None:
+            raise DeviceError("crossbar has not been programmed")
+        input_bits = np.asarray(input_bits, dtype=np.int64)
+        used_rows, used_cols = self._positive_levels.shape  # type: ignore[union-attr]
+        if input_bits.shape != (used_rows,):
+            raise DeviceError(
+                f"input vector of shape {input_bits.shape} does not match the "
+                f"programmed slice rows ({used_rows})"
+            )
+        if np.any((input_bits != 0) & (input_bits != 1)):
+            raise DeviceError("mvm_1bit expects a binary input vector")
+
+        pos_g = self.noise.read(self._positive_g)
+        neg_g = self.noise.read(self._negative_g)
+        if self.parasitics is not None:
+            pos_g = self.parasitics.apply(pos_g, input_bits)
+            neg_g = self.parasitics.apply(neg_g, input_bits)
+
+        x = input_bits.astype(float)
+        lsb = self.mapper.lsb_conductance()
+        # Column currents, normalised to the value domain: subtract the
+        # baseline current contributed by g_min on every activated device.
+        baseline = self.device.g_min * x.sum()
+        pos_sum = (x @ pos_g - baseline) / lsb
+        neg_sum = (x @ neg_g - baseline) / lsb
+        signed = pos_sum - neg_sum
+        quantised = self.adc.convert(signed)
+
+        latency = (
+            self.dac.drive_latency(used_rows)
+            + 1.0  # array settling / sample-and-hold
+            + self.adc.conversion_latency(used_cols, self.num_adcs, active_adc_bits)
+        )
+        energy = (
+            self.dac.drive_energy_pj(used_rows)
+            + self.row_periphery_power_mw * 1.0
+            + used_cols * self.sample_hold_energy_pj
+            + self.adc.conversion_energy_pj(used_cols, active_adc_bits)
+        )
+        self.ledger.charge("ace.mvm", cycles=latency, energy_pj=energy)
+        self.mvm_count += 1
+        return CrossbarOutput(values=quantised, latency_cycles=latency, energy_pj=energy)
+
+    def expected_1bit(self, input_bits: np.ndarray) -> np.ndarray:
+        """Noise-free reference result for ``mvm_1bit`` (used in tests)."""
+        if self._positive_levels is None or self._negative_levels is None:
+            raise DeviceError("crossbar has not been programmed")
+        x = np.asarray(input_bits, dtype=np.int64)
+        return x @ (self._positive_levels - self._negative_levels)

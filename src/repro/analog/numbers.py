@@ -1,0 +1,111 @@
+"""Negative-number representations for analog crossbars (Section 2.2.1).
+
+Conductance is strictly positive, so signed matrices need an encoding.  The
+paper discusses two and uses differential cell pairs (Figure 3):
+
+* **Offset subtraction** shifts every value by half the representable range
+  and subtracts ``offset * sum(inputs)`` after the ADC.
+* **Differential cell pairs** store the positive and negative parts of each
+  value in two devices driven with opposite polarity; the bitline current is
+  directly proportional to the signed result, and the representation is more
+  resilient to parasitic effects (which the parasitic-compensation scheme of
+  Section 4.3 relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+__all__ = ["DifferentialPairs", "OffsetSubtraction", "EncodedMatrix"]
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """A signed integer matrix encoded for programming into crossbars.
+
+    ``positive`` and ``negative`` are non-negative integer matrices; the
+    represented value is ``positive - negative`` for differential pairs, or
+    ``positive - offset`` (with ``negative`` unused and all zeros) for offset
+    subtraction.
+    """
+
+    positive: np.ndarray
+    negative: np.ndarray
+    offset: int
+    scheme: str
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Logical matrix shape."""
+        return tuple(self.positive.shape)  # type: ignore[return-value]
+
+
+class DifferentialPairs:
+    """Differential cell-pair encoding of signed integer matrices."""
+
+    name = "differential"
+
+    def __init__(self, value_bits: int = 8) -> None:
+        if value_bits < 1:
+            raise QuantizationError("value_bits must be >= 1")
+        self.value_bits = int(value_bits)
+        self.max_magnitude = 2 ** (value_bits - 1) if value_bits > 1 else 1
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        """Split a signed matrix into positive and negative magnitude parts."""
+        matrix = np.asarray(matrix)
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise QuantizationError("differential encoding expects integer matrices")
+        if np.any(np.abs(matrix) > self.max_magnitude):
+            raise QuantizationError(
+                f"matrix magnitude exceeds {self.max_magnitude} for "
+                f"{self.value_bits}-bit values"
+            )
+        positive = np.where(matrix > 0, matrix, 0).astype(np.int64)
+        negative = np.where(matrix < 0, -matrix, 0).astype(np.int64)
+        return EncodedMatrix(positive=positive, negative=negative, offset=0, scheme=self.name)
+
+    def decode_partial(self, positive_sum: np.ndarray, negative_sum: np.ndarray,
+                       inputs: np.ndarray) -> np.ndarray:
+        """Signed partial product from the two bitline currents."""
+        return np.asarray(positive_sum, dtype=float) - np.asarray(negative_sum, dtype=float)
+
+
+class OffsetSubtraction:
+    """Offset-subtraction encoding of signed integer matrices."""
+
+    name = "offset"
+
+    def __init__(self, value_bits: int = 8) -> None:
+        if value_bits < 1:
+            raise QuantizationError("value_bits must be >= 1")
+        self.value_bits = int(value_bits)
+        self.offset = 2 ** (value_bits - 1)
+        self.max_magnitude = self.offset
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        """Shift a signed matrix into the non-negative range ``[0, 2*offset]``."""
+        matrix = np.asarray(matrix)
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise QuantizationError("offset encoding expects integer matrices")
+        if np.any(np.abs(matrix) > self.max_magnitude):
+            raise QuantizationError(
+                f"matrix magnitude exceeds {self.max_magnitude} for "
+                f"{self.value_bits}-bit values"
+            )
+        positive = (matrix + self.offset).astype(np.int64)
+        negative = np.zeros_like(positive)
+        return EncodedMatrix(positive=positive, negative=negative, offset=self.offset,
+                             scheme=self.name)
+
+    def decode_partial(self, positive_sum: np.ndarray, negative_sum: np.ndarray,
+                       inputs: np.ndarray) -> np.ndarray:
+        """Subtract ``offset * sum(inputs)`` from the raw bitline sums."""
+        inputs = np.asarray(inputs, dtype=float)
+        correction = self.offset * float(inputs.sum())
+        return np.asarray(positive_sum, dtype=float) - correction

@@ -1,0 +1,31 @@
+"""Comparison architectures: Baseline, DigitalPUM, AppAccel, GPU, naive hybrids."""
+
+from .base import ArchPerformance, RateModel
+from .naive_hybrid import NAIVE_HYBRID_SPLITS, HybridSplit, figure7_sweep, naive_hybrid_throughput
+from .presets import (
+    WORKLOAD_MAC_BIT_PRODUCT,
+    app_accel_model,
+    baseline_model,
+    darth_pum_model,
+    digital_pum_model,
+    gpu_model,
+    model_for,
+)
+from .unit_model import UnitBasedModel
+
+__all__ = [
+    "ArchPerformance",
+    "HybridSplit",
+    "NAIVE_HYBRID_SPLITS",
+    "RateModel",
+    "UnitBasedModel",
+    "WORKLOAD_MAC_BIT_PRODUCT",
+    "app_accel_model",
+    "baseline_model",
+    "darth_pum_model",
+    "digital_pum_model",
+    "figure7_sweep",
+    "gpu_model",
+    "model_for",
+    "naive_hybrid_throughput",
+]

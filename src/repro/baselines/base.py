@@ -1,0 +1,124 @@
+"""Shared performance-model abstractions for all evaluated architectures.
+
+Each architecture model maps a :class:`~repro.workloads.profile.
+WorkloadProfile` to throughput, per-item latency, and per-item energy.  The
+models share a common structure: a set of *rates* (operations per second for
+each operation class the profile distinguishes) and *energies* (joules per
+operation).  Throughput uses the bottleneck (pipelined) model -- different
+resources work on different items concurrently -- while latency serialises
+the phases of a single item, which is what the per-kernel breakdowns
+(Figures 14 and 15) report.
+
+The absolute rates are first-order analytical estimates calibrated against
+the published characteristics of each platform (clock rates, lane counts,
+bandwidths, Table 3 energies); EXPERIMENTS.md records the calibration.  The
+figures only ever use ratios between architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..workloads.profile import WorkloadProfile
+
+__all__ = ["ArchPerformance", "RateModel"]
+
+
+@dataclass(frozen=True)
+class ArchPerformance:
+    """Throughput/latency/energy of one architecture on one workload."""
+
+    architecture: str
+    workload: str
+    #: Work items completed per second at full chip/package utilisation.
+    throughput_items_per_s: float
+    #: Latency of a single item in seconds (phases serialised).
+    latency_s: float
+    #: Energy per item in joules.
+    energy_per_item_j: float
+    #: Seconds per item attributed to each phase (mvm / elementwise / ...).
+    latency_breakdown_s: Dict[str, float] = field(default_factory=dict)
+    #: Joules per item attributed to each phase.
+    energy_breakdown_j: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "ArchPerformance") -> float:
+        """Throughput ratio of this architecture over ``other``."""
+        return self.throughput_items_per_s / other.throughput_items_per_s
+
+    def energy_savings_over(self, other: "ArchPerformance") -> float:
+        """Energy-per-item ratio of ``other`` over this architecture."""
+        return other.energy_per_item_j / self.energy_per_item_j
+
+
+@dataclass
+class RateModel:
+    """A generic rate/energy performance model.
+
+    Rates are in operations per second (``float('inf')`` means the phase is
+    free on this architecture); energies are joules per operation.  Items
+    can additionally be limited by ``max_parallel_items`` (e.g. how many AES
+    blocks fit on the chip at once) though none of the evaluated workloads
+    hits that limit in practice.
+    """
+
+    name: str
+    mvm_macs_per_s: float
+    elementwise_ops_per_s: float
+    lookup_ops_per_s: float
+    nonlinear_ops_per_s: float
+    host_bytes_per_s: float = float("inf")
+    energy_per_mac_j: float = 0.0
+    energy_per_elementwise_j: float = 0.0
+    energy_per_lookup_j: float = 0.0
+    energy_per_nonlinear_j: float = 0.0
+    energy_per_host_byte_j: float = 0.0
+    #: Static (leakage / front-end / host) power drawn while an item is in
+    #: flight, charged against the item's latency.
+    static_power_w: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _phase_times(self, profile: WorkloadProfile) -> Dict[str, float]:
+        def time_for(amount: float, rate: float) -> float:
+            if amount <= 0:
+                return 0.0
+            if rate == float("inf"):
+                return 0.0
+            return amount / rate
+
+        return {
+            "mvm": time_for(profile.total_macs, self.mvm_macs_per_s),
+            "elementwise": time_for(profile.elementwise_ops, self.elementwise_ops_per_s),
+            "lookup": time_for(profile.lookup_ops, self.lookup_ops_per_s),
+            "nonlinear": time_for(profile.nonlinear_ops, self.nonlinear_ops_per_s),
+            "data_movement": time_for(profile.host_bytes_per_item, self.host_bytes_per_s),
+        }
+
+    def _phase_energies(self, profile: WorkloadProfile, latency_s: float) -> Dict[str, float]:
+        return {
+            "mvm": profile.total_macs * self.energy_per_mac_j,
+            "elementwise": profile.elementwise_ops * self.energy_per_elementwise_j,
+            "lookup": profile.lookup_ops * self.energy_per_lookup_j,
+            "nonlinear": profile.nonlinear_ops * self.energy_per_nonlinear_j,
+            "data_movement": profile.host_bytes_per_item * self.energy_per_host_byte_j,
+            "static": self.static_power_w * latency_s,
+        }
+
+    def evaluate(self, profile: WorkloadProfile) -> ArchPerformance:
+        """Evaluate the model on a workload profile."""
+        phase_times = self._phase_times(profile)
+        latency = sum(phase_times.values())
+        # Throughput: phases of different items overlap, so the slowest phase
+        # is the steady-state bottleneck.
+        bottleneck = max(phase_times.values()) if latency > 0 else 0.0
+        throughput = 1.0 / bottleneck if bottleneck > 0 else float("inf")
+        energies = self._phase_energies(profile, latency)
+        return ArchPerformance(
+            architecture=self.name,
+            workload=profile.name,
+            throughput_items_per_s=throughput,
+            latency_s=latency,
+            energy_per_item_j=sum(energies.values()),
+            latency_breakdown_s=phase_times,
+            energy_breakdown_j=energies,
+        )

@@ -1,0 +1,111 @@
+"""The Section 3 motivation study: naive hybrid PUM configurations (Figure 7).
+
+Figure 7 compares, iso-area, AES-128 throughput of (D) a pure digital PUM
+chip, (A) analog PUM plus a CPU for the non-MVM steps, and nine naive hybrid
+splits H-1..H-9 that convert part of the digital area into analog arrays
+without any of DARTH-PUM's coordination hardware.  Throughput rises with
+the first analog arrays (MixColumns accelerates), peaks around H-5, and
+falls again once too few digital arrays remain to keep enough plaintext
+blocks in flight.  The ideal logic family is also modelled to show it buys
+little once analog arrays handle the MVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..workloads.aes.profile import aes_profile
+
+__all__ = ["HybridSplit", "NAIVE_HYBRID_SPLITS", "naive_hybrid_throughput", "figure7_sweep"]
+
+
+@dataclass(frozen=True)
+class HybridSplit:
+    """A naive hybrid configuration: how many arrays are digital vs analog."""
+
+    label: str
+    digital_arrays: int
+    analog_arrays: int
+
+
+#: The configurations swept in Figure 7 (iso-area to the Arm CPU).
+NAIVE_HYBRID_SPLITS: Tuple[HybridSplit, ...] = (
+    HybridSplit("D: Digital PUM", 832, 0),
+    HybridSplit("H-1: D-768, A-128", 768, 128),
+    HybridSplit("H-2: D-700, A-162", 700, 162),
+    HybridSplit("H-3: D-640, A-192", 640, 192),
+    HybridSplit("H-4: D-512, A-256", 512, 256),
+    HybridSplit("H-5: D-375, A-324", 375, 324),
+    HybridSplit("H-6: D-256, A-384", 256, 384),
+    HybridSplit("H-7: D-128, A-448", 128, 448),
+    HybridSplit("H-8: D-64, A-480", 64, 480),
+    HybridSplit("H-9: D-32, A-496", 32, 496),
+    HybridSplit("A: Analog+CPU", 0, 512),
+)
+
+#: Cycles per 64-element word operation under each logic family.
+_FAMILY_ELEMENTWISE_CYCLES: Dict[str, float] = {"oscar": 12.0, "ideal": 5.0}
+_FAMILY_BITMAC_CYCLES: Dict[str, float] = {"oscar": 2.0, "ideal": 1.0}
+#: Arm CPU non-MVM latency components for one block (pure-analog config):
+#: the gathers of SubBytes dominate, with the per-round offload round trips.
+_ARM_CPU_NON_MVM_OPS_PER_S = 1.5e9
+_ARM_CPU_LOOKUPS_PER_S = 4.0e8
+_ARM_CPU_CORES = 8
+#: Occupancy of one naive-hybrid analog MVM (no shift units, no IIU): the
+#: analog step plus the serialised write into the digital arrays
+#: (Figure 10a behaviour).
+_NAIVE_ANALOG_MVM_CYCLES = 70.0
+#: Analog arrays needed to hold one 32x32 MixColumns matrix copy.
+_ARRAYS_PER_MVM_UNIT = 4
+
+
+def naive_hybrid_throughput(split: HybridSplit, logic_family: str = "oscar") -> float:
+    """AES-128 block throughput (blocks/s) of one naive hybrid configuration.
+
+    Throughput is bottleneck-limited: digital pipelines (one block in flight
+    per pipeline) and analog MVM units (one MixColumns at a time per matrix
+    copy) work on different blocks concurrently, so the slower resource class
+    sets the steady-state rate.
+    """
+    profile = aes_profile(128)
+    clock = 1.0e9
+    elementwise_cycles = _FAMILY_ELEMENTWISE_CYCLES[logic_family]
+    bitmac_cycles = _FAMILY_BITMAC_CYCLES[logic_family]
+
+    if split.digital_arrays == 0:
+        # Pure analog + CPU: everything non-MVM goes to the Arm CPU.
+        per_core_latency = (
+            profile.elementwise_ops / _ARM_CPU_NON_MVM_OPS_PER_S
+            + profile.lookup_ops / _ARM_CPU_LOOKUPS_PER_S
+        )
+        return _ARM_CPU_CORES / per_core_latency
+
+    pipelines = max(split.digital_arrays // 64, 1)
+    # Per-block digital work: lookups (element loads), ShiftRows,
+    # AddRoundKey; pure digital also pays the bit-serial MixColumns.
+    digital_ops = profile.elementwise_ops + profile.lookup_ops * 2.0
+    digital_cycles = digital_ops / 64.0 * elementwise_cycles
+    if split.analog_arrays == 0:
+        digital_cycles += profile.total_macs / 64.0 * bitmac_cycles
+    digital_rate = pipelines / digital_cycles  # blocks per cycle
+
+    if split.analog_arrays > 0:
+        mvm_units = max(split.analog_arrays // _ARRAYS_PER_MVM_UNIT, 1)
+        analog_cycles_per_block = profile.total_mvm_invocations * _NAIVE_ANALOG_MVM_CYCLES
+        analog_rate = mvm_units / analog_cycles_per_block
+        rate = min(digital_rate, analog_rate)
+    else:
+        rate = digital_rate
+    return rate * clock
+
+
+def figure7_sweep(logic_families: Tuple[str, ...] = ("oscar", "ideal")) -> Dict[str, List[float]]:
+    """Throughput of every Figure 7 configuration, normalised to D/OSCAR."""
+    reference = naive_hybrid_throughput(NAIVE_HYBRID_SPLITS[0], "oscar")
+    result: Dict[str, List[float]] = {family: [] for family in logic_families}
+    for family in logic_families:
+        for split in NAIVE_HYBRID_SPLITS:
+            result[family].append(naive_hybrid_throughput(split, family) / reference)
+    result["labels"] = [split.label for split in NAIVE_HYBRID_SPLITS]  # type: ignore[assignment]
+    return result

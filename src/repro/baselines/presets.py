@@ -1,0 +1,361 @@
+"""Per-architecture, per-workload performance-model presets (Section 6).
+
+Each factory returns a :class:`~repro.baselines.unit_model.UnitBasedModel`
+configured for one of the paper's evaluated platforms:
+
+* ``baseline``     -- Intel Core i7-13700 + a 1.5 GB analog ReRAM accelerator
+* ``digital_pum``  -- an iso-area RACER/OSCAR digital-PUM chip (5.3 GB)
+* ``darth_pum``    -- the DARTH-PUM chip (1860 SAR-ADC HCTs or 1660 ramp)
+* ``app_accel``    -- the per-workload application-specific accelerator
+* ``gpu``          -- an NVIDIA RTX 4090-class GPU
+
+The per-unit rates are first-order analytical estimates from each platform's
+published parameters; a small set of efficiency factors (named constants
+below) is calibrated so the relative results reproduce the paper's shape.
+EXPERIMENTS.md records paper-vs-measured numbers for every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.area import AreaModel, Table3
+from ..core.config import HctConfig
+from ..errors import ConfigurationError
+from ..workloads.profile import WorkloadProfile
+from .unit_model import UnitBasedModel
+
+__all__ = [
+    "WORKLOAD_MAC_BIT_PRODUCT",
+    "darth_pum_model",
+    "baseline_model",
+    "digital_pum_model",
+    "app_accel_model",
+    "gpu_model",
+    "model_for",
+]
+
+#: Product of input bits and weight bits for each workload's MVMs (AES uses
+#: binary matrices and binary inputs; the ML workloads use 8-bit operands).
+WORKLOAD_MAC_BIT_PRODUCT: Dict[str, int] = {
+    "aes128": 1,
+    "aes192": 1,
+    "aes256": 1,
+    "resnet20": 64,
+    "llm_encoder": 32,  # 8-bit weights stored 2 bits/cell
+}
+
+#: Hybrid compute tiles needed to hold one resident copy of each model.
+#: AES needs a single tile (S-box + MixColumns matrix); the ML models are
+#: computed from their mappings and rounded to the values those give.
+_HCTS_PER_MODEL_COPY: Dict[str, int] = {
+    "aes128": 1,
+    "aes192": 1,
+    "aes256": 1,
+    "resnet20": 27,
+    "llm_encoder": 648,
+}
+
+#: Per-item serialisation overhead on DARTH-PUM (seconds) and the matching
+#: coordination energy (joules): round/layer sequencing, register staging,
+#: and pipeline fill work that the coarse profile counts do not enumerate.
+#: AES: ~250 cycles per round for 10 rounds; ResNet-20: ~4k cycles per layer
+#: for 22 MVM layers (pipeline fill + partial-sum merges).
+_DARTH_ITEM_OVERHEAD: Dict[str, tuple] = {
+    "aes128": (2.5e-6, 30.0e-9),
+    "aes192": (3.0e-6, 36.0e-9),
+    "aes256": (3.5e-6, 42.0e-9),
+    "resnet20": (9.0e-5, 8.0e-6),
+    "llm_encoder": (2.0e-5, 5.0e-4),
+}
+
+
+def _bit_product(workload: str) -> int:
+    for key, value in WORKLOAD_MAC_BIT_PRODUCT.items():
+        if workload.startswith(key.rstrip("0123456789")) or workload == key:
+            return value
+    return WORKLOAD_MAC_BIT_PRODUCT.get(workload, 64)
+
+
+# --------------------------------------------------------------------------- #
+# DARTH-PUM                                                                    #
+# --------------------------------------------------------------------------- #
+#: 1-bit MAC throughput of one HCT's ACE (bit-MACs per cycle): 64 arrays of
+#: 64x64 devices producing one partial product per rate-matched 64-cycle step.
+_DARTH_BITMACS_PER_CYCLE_PER_HCT = 64 * 64 * 64 / 64.0
+#: Digital pipelines concurrently active per HCT (power envelope).
+_DARTH_ACTIVE_PIPELINES = 16
+#: Cycles per 8-bit element-wise word operation in a bit-pipelined stream.
+_DARTH_CYCLES_PER_ELEMENTWISE = 12.0
+#: Cycles per element of an I-BERT style non-linear kernel in the DCE.
+_DARTH_CYCLES_PER_NONLINEAR = 300.0
+#: Cycles per element for heavy DCE work (the dynamic attention products).
+_DARTH_CYCLES_PER_DCE_MAC = 130.0
+#: Energy of one Boolean µop row (Table 3 array power over 64 rows).
+_DARTH_ENERGY_PER_ELEMENTWISE_J = 2.5e-12
+_DARTH_ENERGY_PER_MAC_J = 0.08e-12
+_DARTH_ENERGY_PER_LOOKUP_J = 1.0e-12
+_DARTH_ENERGY_PER_NONLINEAR_J = 60.0e-12
+_DARTH_STATIC_POWER_PER_HCT_W = (Table3.FRONT_END_POWER_MW / Table3.FRONT_END_SHARED_BY) * 1e-3
+
+
+def darth_pum_model(workload: str, adc_kind: str = "sar",
+                    hct_config: Optional[HctConfig] = None) -> UnitBasedModel:
+    """The DARTH-PUM chip model for one workload."""
+    config = hct_config if hct_config is not None else HctConfig.paper_default(adc_kind)
+    num_hcts = AreaModel(config).iso_area_hct_count()
+    clock = 1.0e9
+    bit_product = _bit_product(workload)
+
+    # ADC choice scales the per-step MVM latency: 2 SAR ADCs digitise the 64
+    # bitlines in 32 cycles (rate-matched with the 64-cycle DCE write), while
+    # a single ramp ADC takes 256 cycles per step unless early-terminated.
+    if adc_kind == "sar":
+        step_cycles = 64.0
+    else:
+        step_cycles = 256.0 if bit_product > 1 else 64.0  # AES early-terminates
+    bitmacs_per_cycle = 64 * 64 * 64 / step_cycles
+
+    hcts_per_copy = min(_HCTS_PER_MODEL_COPY.get(workload, 1), num_hcts)
+    copies = max(1, num_hcts // hcts_per_copy)
+    per_copy_scale = hcts_per_copy
+
+    heavy_dce = workload.startswith("llm")
+    elementwise_cycles = _DARTH_CYCLES_PER_DCE_MAC if heavy_dce else _DARTH_CYCLES_PER_ELEMENTWISE
+    elementwise_rate = (
+        64 * _DARTH_ACTIVE_PIPELINES / elementwise_cycles * clock * per_copy_scale
+    )
+    overhead_s, overhead_j = _DARTH_ITEM_OVERHEAD.get(workload, (0.0, 0.0))
+    if adc_kind == "ramp" and bit_product == 1:
+        # AES: the ramp ADC terminates after the two LSB steps and converts
+        # all 64 bitlines concurrently, trimming the per-round coordination.
+        overhead_s *= 0.75
+    return UnitBasedModel(
+        name=f"darth_pum_{adc_kind}",
+        num_units=copies,
+        items_per_unit=4.0 if workload.startswith("aes") else 1.0,
+        mvm_macs_per_s=bitmacs_per_cycle / bit_product * clock * per_copy_scale,
+        elementwise_ops_per_s=elementwise_rate,
+        lookup_ops_per_s=4.0 * clock * per_copy_scale,
+        nonlinear_ops_per_s=64 * _DARTH_ACTIVE_PIPELINES / _DARTH_CYCLES_PER_NONLINEAR
+        * clock * per_copy_scale,
+        host_bytes_per_s=float("inf"),
+        energy_per_mac_j=_DARTH_ENERGY_PER_MAC_J * bit_product / 64.0,
+        energy_per_elementwise_j=_DARTH_ENERGY_PER_ELEMENTWISE_J,
+        energy_per_lookup_j=_DARTH_ENERGY_PER_LOOKUP_J,
+        energy_per_nonlinear_j=_DARTH_ENERGY_PER_NONLINEAR_J,
+        energy_per_host_byte_j=0.0,
+        static_power_per_unit_w=_DARTH_STATIC_POWER_PER_HCT_W * per_copy_scale,
+        per_item_overhead_s=overhead_s,
+        energy_per_item_overhead_j=overhead_j,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Baseline: Intel i7-13700 + analog PUM accelerator                            #
+# --------------------------------------------------------------------------- #
+_CPU_CORES = 16
+_CPU_CLOCK = 4.0e9
+#: Effective int8 SIMD lanes per core after dependency/issue inefficiencies.
+_CPU_EFFECTIVE_LANES = 8.0
+_CPU_LOOKUPS_PER_CYCLE = 2.0
+_CPU_NONLINEAR_PER_CYCLE = 0.05
+#: Host <-> accelerator bandwidth shared by all cores (bytes/s).
+_CPU_ACCEL_BANDWIDTH = 2.0e10
+_ANALOG_ACCEL_MACS_PER_S = 2.0e13
+_CPU_ENERGY_PER_ELEMENTWISE_J = 60.0e-12
+_CPU_ENERGY_PER_LOOKUP_J = 120.0e-12
+_CPU_ENERGY_PER_NONLINEAR_J = 2.0e-9
+_CPU_ENERGY_PER_HOST_BYTE_J = 40.0e-12
+_ANALOG_ACCEL_ENERGY_PER_MAC_J = 0.3e-12
+_CPU_STATIC_POWER_PER_CORE_W = 4.0
+
+
+def baseline_model(workload: str) -> UnitBasedModel:
+    """The analog-accelerator + CPU baseline for one workload."""
+    return UnitBasedModel(
+        name="baseline",
+        num_units=_CPU_CORES,
+        items_per_unit=1.0,
+        mvm_macs_per_s=_ANALOG_ACCEL_MACS_PER_S / _CPU_CORES,
+        elementwise_ops_per_s=_CPU_EFFECTIVE_LANES * _CPU_CLOCK,
+        lookup_ops_per_s=_CPU_LOOKUPS_PER_CYCLE * _CPU_CLOCK,
+        nonlinear_ops_per_s=_CPU_NONLINEAR_PER_CYCLE * _CPU_CLOCK,
+        host_bytes_per_s=_CPU_ACCEL_BANDWIDTH / _CPU_CORES,
+        energy_per_mac_j=_ANALOG_ACCEL_ENERGY_PER_MAC_J,
+        energy_per_elementwise_j=_CPU_ENERGY_PER_ELEMENTWISE_J,
+        energy_per_lookup_j=_CPU_ENERGY_PER_LOOKUP_J,
+        energy_per_nonlinear_j=_CPU_ENERGY_PER_NONLINEAR_J,
+        energy_per_host_byte_j=_CPU_ENERGY_PER_HOST_BYTE_J,
+        static_power_per_unit_w=_CPU_STATIC_POWER_PER_CORE_W,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# DigitalPUM: iso-area RACER/OSCAR chip                                        #
+# --------------------------------------------------------------------------- #
+_DIGITAL_CLUSTERS = 2400
+_DIGITAL_ACTIVE_PIPELINES = 2  # thermal limit (Section 6)
+_DIGITAL_CYCLES_PER_ELEMENTWISE = 12.0
+_DIGITAL_CYCLES_PER_BITMAC = 2.0
+_DIGITAL_CYCLES_PER_LOOKUP = 130.0  # copy + mask + AND sequence (no element load)
+_DIGITAL_CYCLES_PER_NONLINEAR = 300.0
+_DIGITAL_ENERGY_PER_ELEMENTWISE_J = 2.5e-12
+_DIGITAL_ENERGY_PER_BITMAC_J = 0.4e-12
+_DIGITAL_ENERGY_PER_LOOKUP_J = 300.0e-12  # copy + mask + AND over a full register
+_DIGITAL_ENERGY_PER_NONLINEAR_J = 60.0e-12
+_DIGITAL_STATIC_POWER_PER_CLUSTER_W = 8e-3
+
+
+def digital_pum_model(workload: str) -> UnitBasedModel:
+    """The iso-area digital-only PUM chip for one workload."""
+    clock = 1.0e9
+    bit_product = _bit_product(workload)
+    lanes = 64 * _DIGITAL_ACTIVE_PIPELINES
+    # Bit-serial MACs: cost grows with the operand bit product (shift-and-add
+    # long multiplication in the pipelines).
+    mac_cycles = _DIGITAL_CYCLES_PER_BITMAC * max(1.0, bit_product * 1.5)
+    hcts_per_copy = min(_HCTS_PER_MODEL_COPY.get(workload, 1), _DIGITAL_CLUSTERS)
+    copies = max(1, _DIGITAL_CLUSTERS // hcts_per_copy)
+    scale = hcts_per_copy
+    return UnitBasedModel(
+        name="digital_pum",
+        num_units=copies,
+        items_per_unit=4.0 if workload.startswith("aes") else 1.0,
+        mvm_macs_per_s=lanes / mac_cycles * clock * scale,
+        elementwise_ops_per_s=lanes / _DIGITAL_CYCLES_PER_ELEMENTWISE * clock * scale,
+        lookup_ops_per_s=lanes / _DIGITAL_CYCLES_PER_LOOKUP / 64.0 * clock * scale,
+        nonlinear_ops_per_s=lanes / _DIGITAL_CYCLES_PER_NONLINEAR * clock * scale,
+        host_bytes_per_s=float("inf"),
+        energy_per_mac_j=_DIGITAL_ENERGY_PER_BITMAC_J * max(1.0, bit_product / 16.0),
+        energy_per_elementwise_j=_DIGITAL_ENERGY_PER_ELEMENTWISE_J,
+        energy_per_lookup_j=_DIGITAL_ENERGY_PER_LOOKUP_J,
+        energy_per_nonlinear_j=_DIGITAL_ENERGY_PER_NONLINEAR_J,
+        energy_per_host_byte_j=0.0,
+        static_power_per_unit_w=_DIGITAL_STATIC_POWER_PER_CLUSTER_W * scale,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# AppAccel: application-specific accelerators                                  #
+# --------------------------------------------------------------------------- #
+def app_accel_model(workload: str) -> UnitBasedModel:
+    """The application-specific accelerator evaluated for each workload."""
+    if workload.startswith("aes"):
+        # Intel AES-NI: the block cipher runs on the CPU cores with the
+        # dedicated instructions; round function cost collapses but each
+        # block still flows through the core pipeline and memory system.
+        return UnitBasedModel(
+            name="app_accel_aesni",
+            num_units=_CPU_CORES,
+            items_per_unit=1.0,
+            mvm_macs_per_s=36864.0 / 80e-9,      # MixColumns folded into AESENC
+            elementwise_ops_per_s=364.0 / 80e-9,  # remaining round work
+            lookup_ops_per_s=float("inf"),        # SubBytes folded into AESENC
+            nonlinear_ops_per_s=float("inf"),
+            host_bytes_per_s=5.0e10,              # plaintext streamed from DRAM
+            energy_per_elementwise_j=20.0e-12,
+            energy_per_mac_j=0.02e-12,
+            energy_per_host_byte_j=10.0e-12,
+            static_power_per_unit_w=_CPU_STATIC_POWER_PER_CORE_W,
+        )
+    if workload.startswith("resnet"):
+        # Xiao et al.-style analog CNN accelerator with ramp ADCs, current
+        # integrators, and peripheral ALUs: very fast per tile, but the SFU
+        # area leaves fewer parallel tiles in an iso-area comparison.
+        # The SFU-heavy design leaves roughly a third of the iso-area budget
+        # for analog tiles compared to DARTH-PUM's HCT count.
+        tiles = 620
+        return UnitBasedModel(
+            name="app_accel_cnn",
+            num_units=tiles / 27.0,
+            items_per_unit=1.0,
+            mvm_macs_per_s=64 * 64 * 64 / 48.0 * 1e9 / 64.0 * 27.0,
+            elementwise_ops_per_s=64 * 16 * 1e9 * 27.0,   # dedicated SFUs
+            lookup_ops_per_s=float("inf"),
+            nonlinear_ops_per_s=64 * 8 * 1e9 * 27.0,
+            host_bytes_per_s=float("inf"),
+            energy_per_mac_j=0.10e-12,
+            energy_per_elementwise_j=1.0e-12,
+            energy_per_nonlinear_j=5.0e-12,
+            static_power_per_unit_w=0.3,
+            per_item_overhead_s=1.0e-5,
+            energy_per_item_overhead_j=8.0e-6,
+        )
+    # ISAAC-style transformer accelerator with SAR ADCs and a rich SFU: the
+    # SFUs make the non-MVM 71% of DARTH-PUM's time essentially free, and the
+    # shared-ADC crossbar organisation sustains a higher MVM rate per tile.
+    return UnitBasedModel(
+        name="app_accel_llm",
+        num_units=1.0,
+        items_per_unit=1.0,
+        mvm_macs_per_s=1.6e14,
+        elementwise_ops_per_s=6.0e13,
+        lookup_ops_per_s=float("inf"),
+        nonlinear_ops_per_s=2.0e13,
+        host_bytes_per_s=float("inf"),
+        energy_per_mac_j=0.10e-12,
+        energy_per_elementwise_j=1.5e-12,
+        energy_per_nonlinear_j=8.0e-12,
+        static_power_per_unit_w=40.0,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# GPU: NVIDIA GeForce RTX 4090                                                 #
+# --------------------------------------------------------------------------- #
+_GPU_SMS = 128
+_GPU_CLOCK = 2.2e9
+_GPU_INT8_OPS_PER_SM_PER_CYCLE = 512.0
+_GPU_ELEMENTWISE_PER_SM_PER_CYCLE = 64.0
+_GPU_LOOKUP_PER_SM_PER_CYCLE = 32.0   # AES tables are cache resident
+_GPU_NONLINEAR_PER_SM_PER_CYCLE = 2.0
+_GPU_MEM_BANDWIDTH = 1.0e12
+_GPU_ENERGY_PER_MAC_J = 1.0e-12
+_GPU_ENERGY_PER_ELEMENTWISE_J = 6.0e-12
+_GPU_ENERGY_PER_LOOKUP_J = 10.0e-12
+_GPU_ENERGY_PER_NONLINEAR_J = 40.0e-12
+_GPU_STATIC_POWER_PER_SM_W = 1.2
+
+
+def gpu_model(workload: str) -> UnitBasedModel:
+    """The RTX 4090-class GPU model for one workload."""
+    if workload.startswith("llm"):
+        efficiency = 0.25
+    elif workload.startswith("resnet"):
+        # Small CIFAR kernels under-utilise the SMs even with batching.
+        efficiency = 0.10
+    else:
+        efficiency = 0.35
+    return UnitBasedModel(
+        name="gpu",
+        num_units=_GPU_SMS,
+        items_per_unit=1.0,
+        mvm_macs_per_s=_GPU_INT8_OPS_PER_SM_PER_CYCLE * _GPU_CLOCK * efficiency,
+        elementwise_ops_per_s=_GPU_ELEMENTWISE_PER_SM_PER_CYCLE * _GPU_CLOCK * efficiency,
+        lookup_ops_per_s=_GPU_LOOKUP_PER_SM_PER_CYCLE * _GPU_CLOCK,
+        nonlinear_ops_per_s=_GPU_NONLINEAR_PER_SM_PER_CYCLE * _GPU_CLOCK,
+        host_bytes_per_s=_GPU_MEM_BANDWIDTH / _GPU_SMS,
+        energy_per_mac_j=_GPU_ENERGY_PER_MAC_J,
+        energy_per_elementwise_j=_GPU_ENERGY_PER_ELEMENTWISE_J,
+        energy_per_lookup_j=_GPU_ENERGY_PER_LOOKUP_J,
+        energy_per_nonlinear_j=_GPU_ENERGY_PER_NONLINEAR_J,
+        energy_per_host_byte_j=15.0e-12,
+        static_power_per_unit_w=_GPU_STATIC_POWER_PER_SM_W,
+    )
+
+
+def model_for(architecture: str, workload: str, adc_kind: str = "sar") -> UnitBasedModel:
+    """Look up an architecture model by name."""
+    factories = {
+        "baseline": lambda: baseline_model(workload),
+        "digital_pum": lambda: digital_pum_model(workload),
+        "darth_pum": lambda: darth_pum_model(workload, adc_kind),
+        "app_accel": lambda: app_accel_model(workload),
+        "gpu": lambda: gpu_model(workload),
+    }
+    if architecture not in factories:
+        raise ConfigurationError(
+            f"unknown architecture {architecture!r}; expected one of {sorted(factories)}"
+        )
+    return factories[architecture]()

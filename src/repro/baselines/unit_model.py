@@ -1,0 +1,97 @@
+"""Unit-based architecture performance model.
+
+All of the evaluated architectures share one structure: a number of
+identical *units* (hybrid compute tiles, CPU cores, GPU SM clusters,
+accelerator tiles), each of which processes a bounded number of work items
+concurrently at per-unit rates for each operation class.  Per-item latency
+serialises the phases on one unit; chip throughput multiplies the per-unit
+throughput by the number of units; energy combines per-operation energies
+with the unit's static power over the item's latency.
+
+The per-unit rates are derived from each platform's published parameters
+(clock, lanes, ADC latencies, Table 3 powers); EXPERIMENTS.md documents the
+handful of efficiency factors that were calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..workloads.profile import WorkloadProfile
+from .base import ArchPerformance
+
+__all__ = ["UnitBasedModel"]
+
+
+@dataclass
+class UnitBasedModel:
+    """Performance model built from identical processing units."""
+
+    name: str
+    #: Number of units on the chip / in the package (iso-area).
+    num_units: float
+    #: Independent work items one unit keeps in flight.
+    items_per_unit: float = 1.0
+    #: Per-unit processing rates (operations per second).
+    mvm_macs_per_s: float = float("inf")
+    elementwise_ops_per_s: float = float("inf")
+    lookup_ops_per_s: float = float("inf")
+    nonlinear_ops_per_s: float = float("inf")
+    host_bytes_per_s: float = float("inf")
+    #: Per-operation energies (joules).
+    energy_per_mac_j: float = 0.0
+    energy_per_elementwise_j: float = 0.0
+    energy_per_lookup_j: float = 0.0
+    energy_per_nonlinear_j: float = 0.0
+    energy_per_host_byte_j: float = 0.0
+    #: Static power of one unit while an item is in flight (watts).
+    static_power_per_unit_w: float = 0.0
+    #: Fixed per-item serialisation overhead (round/layer coordination work
+    #: the coarse operation counts of the profile do not enumerate).
+    per_item_overhead_s: float = 0.0
+    #: Fixed per-item energy overhead matching ``per_item_overhead_s``.
+    energy_per_item_overhead_j: float = 0.0
+
+    def _phase_times(self, profile: WorkloadProfile) -> Dict[str, float]:
+        def time_for(amount: float, rate: float) -> float:
+            if amount <= 0 or rate == float("inf"):
+                return 0.0
+            return amount / rate
+
+        return {
+            "mvm": time_for(profile.total_macs, self.mvm_macs_per_s),
+            "elementwise": time_for(profile.elementwise_ops, self.elementwise_ops_per_s),
+            "lookup": time_for(profile.lookup_ops, self.lookup_ops_per_s),
+            "nonlinear": time_for(profile.nonlinear_ops, self.nonlinear_ops_per_s),
+            "data_movement": time_for(profile.host_bytes_per_item, self.host_bytes_per_s),
+        }
+
+    def evaluate(self, profile: WorkloadProfile) -> ArchPerformance:
+        """Evaluate the model on a workload profile."""
+        phases = self._phase_times(profile)
+        if self.per_item_overhead_s:
+            phases = dict(phases)
+            phases["coordination"] = self.per_item_overhead_s
+        latency = sum(phases.values())
+        items_in_flight = min(self.num_units * self.items_per_unit,
+                              profile.batch_parallelism)
+        throughput = items_in_flight / latency if latency > 0 else float("inf")
+        energies = {
+            "coordination": self.energy_per_item_overhead_j,
+            "mvm": profile.total_macs * self.energy_per_mac_j,
+            "elementwise": profile.elementwise_ops * self.energy_per_elementwise_j,
+            "lookup": profile.lookup_ops * self.energy_per_lookup_j,
+            "nonlinear": profile.nonlinear_ops * self.energy_per_nonlinear_j,
+            "data_movement": profile.host_bytes_per_item * self.energy_per_host_byte_j,
+            "static": self.static_power_per_unit_w * latency / max(self.items_per_unit, 1.0),
+        }
+        return ArchPerformance(
+            architecture=self.name,
+            workload=profile.name,
+            throughput_items_per_s=throughput,
+            latency_s=latency,
+            energy_per_item_j=sum(energies.values()),
+            latency_breakdown_s=phases,
+            energy_breakdown_j=energies,
+        )

@@ -1,0 +1,148 @@
+"""The DARTH-PUM chip: many hybrid compute tiles plus shared front ends.
+
+A chip instantiates up to 1860 HCTs (SAR ADCs) or 1660 HCTs (ramp ADCs) in
+the area of the baseline CPU (Section 6).  Tiles are materialised lazily so
+that functional experiments touching a handful of tiles stay cheap, while
+throughput modelling can still reason about the full tile count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import AllocationError, CapacityError
+from ..metrics import CostLedger, merge_ledgers
+from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
+from .area import AreaModel, Table3
+from .config import ChipConfig, HctConfig
+from .frontend import FrontEnd
+from .hct import HybridComputeTile
+
+__all__ = ["DarthPumChip"]
+
+
+@dataclass
+class _TileSlot:
+    """Book-keeping for one HCT slot on the chip."""
+
+    tile: Optional[HybridComputeTile] = None
+    allocated: bool = False
+    owner: Optional[str] = None
+
+
+class DarthPumChip:
+    """A full DARTH-PUM chip."""
+
+    def __init__(
+        self,
+        config: Optional[ChipConfig] = None,
+        device: Optional[DeviceParameters] = None,
+        noise: Optional[NoiseConfig] = None,
+        parasitics: Optional[ParasiticModel] = None,
+    ) -> None:
+        self.config = config if config is not None else ChipConfig.iso_area_default()
+        self.device = device
+        self.noise = noise
+        self.parasitics = parasitics
+        self.ledger = CostLedger()
+        self._slots: Dict[int, _TileSlot] = {i: _TileSlot() for i in range(self.config.num_hcts)}
+        self.front_ends: List[FrontEnd] = [
+            FrontEnd(front_end_id=i, hcts_served=self.config.hcts_per_front_end)
+            for i in range(self.config.num_front_ends)
+        ]
+        self.area_model = AreaModel(self.config.hct)
+
+    # ------------------------------------------------------------------ #
+    # Tile management                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def num_hcts(self) -> int:
+        """Total HCTs on the chip."""
+        return self.config.num_hcts
+
+    def hct(self, index: int) -> HybridComputeTile:
+        """Return (materialising if needed) the HCT at ``index``."""
+        if not 0 <= index < self.config.num_hcts:
+            raise CapacityError(f"HCT index {index} out of range [0, {self.config.num_hcts})")
+        slot = self._slots[index]
+        if slot.tile is None:
+            slot.tile = HybridComputeTile(
+                config=self.config.hct,
+                device=self.device,
+                noise=self.noise,
+                parasitics=self.parasitics,
+                tile_id=index,
+            )
+        return slot.tile
+
+    def front_end_for(self, hct_index: int) -> FrontEnd:
+        """The front-end unit serving ``hct_index``."""
+        return self.front_ends[hct_index // self.config.hcts_per_front_end]
+
+    def allocate_hcts(self, count: int, owner: str = "anonymous") -> List[int]:
+        """Reserve ``count`` free HCTs for a workload; returns their indices."""
+        free = [i for i, slot in self._slots.items() if not slot.allocated]
+        if len(free) < count:
+            raise AllocationError(
+                f"requested {count} HCTs but only {len(free)} are free on this chip"
+            )
+        chosen = free[:count]
+        for index in chosen:
+            self._slots[index].allocated = True
+            self._slots[index].owner = owner
+        return chosen
+
+    def release_hcts(self, indices: Iterable[int]) -> None:
+        """Return HCTs to the free pool."""
+        for index in indices:
+            slot = self._slots.get(index)
+            if slot is not None:
+                slot.allocated = False
+                slot.owner = None
+
+    @property
+    def allocated_hcts(self) -> int:
+        """Number of HCTs currently reserved by workloads."""
+        return sum(1 for slot in self._slots.values() if slot.allocated)
+
+    @property
+    def materialized_hcts(self) -> int:
+        """Number of HCTs that have actually been instantiated."""
+        return sum(1 for slot in self._slots.values() if slot.tile is not None)
+
+    # ------------------------------------------------------------------ #
+    # Chip-level accounting                                                #
+    # ------------------------------------------------------------------ #
+    def total_ledger(self) -> CostLedger:
+        """Merged ledger across all materialised tiles plus the chip ledger."""
+        ledgers = [self.ledger]
+        ledgers.extend(
+            slot.tile.ledger for slot in self._slots.values() if slot.tile is not None
+        )
+        return merge_ledgers(ledgers)
+
+    def front_end_energy_pj(self, cycles: float) -> float:
+        """Energy of the active front ends over ``cycles`` cycles."""
+        active = max(1, self.materialized_hcts // self.config.hcts_per_front_end)
+        return active * Table3.FRONT_END_POWER_MW * cycles
+
+    def area_cm2(self) -> float:
+        """Effective chip area (calibrated, Section 6 iso-area sizing)."""
+        return self.config.num_hcts * self.area_model.effective_hct_area_um2() / 1e8
+
+    def memory_capacity_gb(self) -> float:
+        """Total memory capacity of the chip in GB."""
+        return self.config.memory_capacity_gb
+
+    def utilization(self) -> float:
+        """Fraction of HCTs currently allocated to workloads."""
+        return self.allocated_hcts / self.config.num_hcts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DarthPumChip(hcts={self.config.num_hcts}, adc={self.config.hct.adc_kind}, "
+            f"capacity={self.memory_capacity_gb():.1f} GB)"
+        )

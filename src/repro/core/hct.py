@@ -1,0 +1,379 @@
+"""The Hybrid Compute Tile (HCT): DARTH-PUM's core building block (Section 4).
+
+An HCT couples an analog compute element (ACE, 64 crossbars) with a digital
+compute element (DCE, 64 bit pipelines) through four auxiliary components:
+
+* **shift units** align partial products while they cross the ACE-to-DCE
+  network (Section 4.1),
+* a **transpose unit** converts between the analog row format and the
+  digital column format (Section 4.2),
+* an **analog/digital arbiter** serialises the two instruction classes so an
+  MVM's reduction appears atomic (Section 4.2), and
+* an **instruction injection unit** expands the shift-and-add reduction
+  locally instead of through the front end (Section 4.2).
+
+``execute_mvm`` is fully functional: the crossbars really compute the
+bit-sliced partial products (with whatever noise model is enabled) and the
+DCE really reduces them with NOR-synthesised adds, so the returned vector is
+the genuine hybrid result.  The same call also produces a cycle-accurate
+timeline for both the unoptimised (Figure 10a) and optimised (Figure 10b)
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analog.ace import AnalogComputeElement, MatrixHandle, MvmExecution
+from ..analog.compensation import ParasiticCompensation
+from ..digital.dce import DigitalComputeElement
+from ..digital.logic import get_family
+from ..digital.microops import WordOpCost, stream_cycles
+from ..errors import AllocationError, CapacityError, ExecutionError
+from ..metrics import CostLedger
+from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
+from .arbiter import AnalogDigitalArbiter, Domain
+from .config import HctConfig
+from .injection_unit import InstructionInjectionUnit
+from .shift_unit import ShiftUnit
+from .transpose_unit import TransposeUnit
+from .vacore import VACore, VACoreManager
+
+__all__ = ["HybridComputeTile", "HctMvmResult"]
+
+
+@dataclass
+class HctMvmResult:
+    """The outcome of one hybrid MVM on an HCT."""
+
+    #: The reduced output vector (signed integers).
+    values: np.ndarray
+    #: Wall-clock cycles with the optimised (shift-in-flight) schedule.
+    optimized_cycles: float
+    #: Wall-clock cycles with the naive serialised schedule (Figure 10a).
+    unoptimized_cycles: float
+    #: Energy consumed by this MVM (analog + digital), in pJ.
+    energy_pj: float
+    #: Per-phase cycle breakdown of the optimised schedule.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Number of partial products the reduction consumed.
+    num_partial_products: int = 0
+    #: Front-end instruction slots saved by the IIU.
+    iiu_slots_saved: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Alias for the optimised wall-clock latency."""
+        return self.optimized_cycles
+
+    @property
+    def speedup_from_optimization(self) -> float:
+        """How much the Section 4.1 optimisations help for this MVM."""
+        if self.optimized_cycles == 0:
+            return 1.0
+        return self.unoptimized_cycles / self.optimized_cycles
+
+
+class HybridComputeTile:
+    """One DARTH-PUM hybrid compute tile."""
+
+    def __init__(
+        self,
+        config: Optional[HctConfig] = None,
+        device: Optional[DeviceParameters] = None,
+        noise: Optional[NoiseConfig] = None,
+        parasitics: Optional[ParasiticModel] = None,
+        ledger: Optional[CostLedger] = None,
+        tile_id: int = 0,
+    ) -> None:
+        self.config = config if config is not None else HctConfig.paper_default()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.tile_id = int(tile_id)
+        family = get_family(self.config.logic_family)
+        self.ace = AnalogComputeElement(
+            config=self.config.ace,
+            device=device,
+            noise=noise,
+            parasitics=parasitics,
+            ledger=self.ledger,
+        )
+        self.dce = DigitalComputeElement(
+            config=self.config.dce,
+            family=family,
+            ledger=self.ledger,
+            auto_cycles=False,
+        )
+        self.shift_unit = ShiftUnit(self.config.transfer_bytes_per_cycle)
+        self.transpose_unit = TransposeUnit(self.config.transfer_bytes_per_cycle)
+        self.arbiter = AnalogDigitalArbiter()
+        self.iiu = InstructionInjectionUnit()
+        self.vacores = VACoreManager()
+        self._matrix_output_pipeline: Dict[int, int] = {}
+        self._clock = 0.0
+        self.analog_enabled = True
+        self.digital_post_processing = True
+
+    # ------------------------------------------------------------------ #
+    # Allocation                                                           #
+    # ------------------------------------------------------------------ #
+    def alloc_vacore(self, element_size: int, bits_per_cell: int) -> VACore:
+        """Allocate a vACore and configure the shift units and IIU for it."""
+        core = self.vacores.allocate(element_size, bits_per_cell)
+        self.shift_unit.configure(shift_per_input_bit=1)
+        plan = core.shift_add_plan()
+        staging = self._staging_vrs()
+        self.iiu.configure(plan, accumulator_vr=0, staging_vrs=staging)
+        return core
+
+    def set_matrix(
+        self,
+        matrix: np.ndarray,
+        value_bits: int = 8,
+        bits_per_cell: int = 1,
+        representation: str = "differential",
+        vacore: Optional[VACore] = None,
+        output_pipeline: int = 0,
+    ) -> MatrixHandle:
+        """Program a matrix into the ACE and reserve its output pipelines."""
+        handle = self.ace.set_matrix(
+            matrix,
+            value_bits=value_bits,
+            bits_per_cell=bits_per_cell,
+            representation=representation,
+        )
+        if vacore is not None:
+            vacore.bind(handle)
+        # Reserve one digital pipeline per column tile for the MVM outputs,
+        # marking their contents dead (pipeline-reserve instruction).
+        for tile in range(handle.col_tiles):
+            self.dce.reserve_pipeline(output_pipeline + tile)
+        self._matrix_output_pipeline[handle.handle_id] = output_pipeline
+        return handle
+
+    def release_matrix(self, handle: MatrixHandle) -> None:
+        """Free a matrix's analog arrays and its reserved output pipelines."""
+        base = self._matrix_output_pipeline.pop(handle.handle_id, 0)
+        for tile in range(handle.col_tiles):
+            self.dce.release_pipeline(base + tile)
+        self.ace.release(handle)
+
+    def disable_analog_mode(self, handle: MatrixHandle, target_pipeline: int = 0) -> None:
+        """disableAnalogMode(): copy the matrix into digital arrays and free the ACE.
+
+        The matrix is transposed by the transpose unit (digital pipelines
+        store one matrix column per vector register) and written one VR per
+        column.
+        """
+        matrix = self.ace.stored_matrix(handle)
+        transposed = self.transpose_unit.matrix_transpose(matrix)
+        pipeline = self.dce.pipeline(target_pipeline)
+        cols = transposed.values.shape[0]
+        if cols > pipeline.num_vrs:
+            raise CapacityError(
+                f"matrix with {cols} columns does not fit the {pipeline.num_vrs} "
+                "vector registers of one pipeline"
+            )
+        for col in range(cols):
+            pipeline.write_vr(col, transposed.values[col])
+        self.release_matrix(handle)
+        self.analog_enabled = False
+        self.ace.enabled = False
+        self.ledger.charge("hct.mode_switch", cycles=transposed.cycles)
+
+    def disable_digital_mode(self) -> None:
+        """disableDigitalMode(): bypass DCE post-processing for raw MVM output."""
+        self.digital_post_processing = False
+
+    def enable_digital_mode(self) -> None:
+        """Re-enable DCE post-processing."""
+        self.digital_post_processing = True
+
+    # ------------------------------------------------------------------ #
+    # Hybrid MVM                                                           #
+    # ------------------------------------------------------------------ #
+    def execute_mvm(
+        self,
+        handle: MatrixHandle,
+        vector: np.ndarray,
+        input_bits: int = 8,
+        optimized: bool = True,
+        compensation: Optional[ParasiticCompensation] = None,
+        active_adc_bits: Optional[int] = None,
+    ) -> HctMvmResult:
+        """Run a full hybrid MVM: analog partial products + digital reduction."""
+        if not self.analog_enabled:
+            raise AllocationError("the ACE of this tile has been disabled")
+        start_energy = self.ledger.energy_pj
+        execution = self.ace.execute_mvm(
+            handle, vector, input_bits=input_bits, active_adc_bits=active_adc_bits
+        )
+
+        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
+        if not self.digital_post_processing:
+            # Expert mode: hand back the raw analog reduction without the DCE.
+            values = execution.reduce()
+            if compensation is not None:
+                values = compensation.recover(values, vector)
+            cycles = execution.analog_cycles
+            return HctMvmResult(
+                values=values,
+                optimized_cycles=cycles,
+                unoptimized_cycles=cycles,
+                energy_pj=self.ledger.energy_pj - start_energy,
+                breakdown={"analog": cycles},
+                num_partial_products=len(execution.partials),
+            )
+
+        values, reduce_costs, slots_saved = self._reduce_in_dce(execution, output_base)
+        if compensation is not None:
+            values = compensation.recover(values, vector)
+
+        optimized_cycles, breakdown = self._timeline(execution, reduce_costs, optimized=True)
+        unoptimized_cycles, _ = self._timeline(execution, reduce_costs, optimized=False)
+
+        # The arbiter locks the output pipelines for the analog domain for
+        # the duration of the MVM, serialising younger digital work.
+        for tile in range(handle.col_tiles):
+            self.arbiter.acquire(
+                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
+            )
+        charged = optimized_cycles if optimized else unoptimized_cycles
+        self._clock += charged
+        self.ledger.charge("hct.mvm", cycles=charged)
+
+        return HctMvmResult(
+            values=values,
+            optimized_cycles=optimized_cycles,
+            unoptimized_cycles=unoptimized_cycles,
+            energy_pj=self.ledger.energy_pj - start_energy,
+            breakdown=breakdown,
+            num_partial_products=len(execution.partials),
+            iiu_slots_saved=slots_saved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                            #
+    # ------------------------------------------------------------------ #
+    def _staging_vrs(self) -> List[int]:
+        """Vector registers used to stage incoming partial products."""
+        pipeline_cols = self.config.dce.cols
+        num_vrs = pipeline_cols - 8  # ScratchColumns.COUNT
+        # Keep VR 0 for the accumulator and use the next few as staging slots.
+        count = max(2, min(4, num_vrs - 1))
+        return list(range(1, 1 + count))
+
+    def _reduce_in_dce(self, execution: MvmExecution, output_base: int):
+        """Functionally reduce the partial-product stream in the DCE."""
+        handle = execution.handle
+        rows, cols = handle.shape
+        staging = self._staging_vrs()
+        accumulator = 0
+        all_costs: List[WordOpCost] = []
+        slots_saved = 0
+        result = np.zeros(cols, dtype=np.int64)
+
+        for col_tile in range(handle.col_tiles):
+            pipeline_index = output_base + col_tile
+            pipeline = self.dce.pipeline(pipeline_index)
+            tile_partials = [p for p in execution.partials if p.col_tile == col_tile]
+            if not tile_partials:
+                continue
+            shifted_values = []
+            shifts = []
+            for partial in tile_partials:
+                transfer = self.shift_unit.apply(
+                    np.rint(partial.values).astype(np.int64),
+                    input_bit=partial.input_bit,
+                    extra_shift=partial.weight_slice * handle.bits_per_cell,
+                )
+                self.transpose_unit.vector_to_register(transfer.values)
+                shifted_values.append(transfer.values)
+                shifts.append(transfer.shift)
+            costs, saved = self.iiu.inject_reduction(
+                pipeline, shifted_values, accumulator, staging, shifts
+            )
+            all_costs.extend(costs)
+            slots_saved += saved
+            tile_width = tile_partials[0].values.shape[0]
+            col_offset = tile_partials[0].col_offset
+            reduced = pipeline.read_vr(accumulator, signed=True)[:tile_width]
+            result[col_offset: col_offset + tile_width] = reduced
+        return result, all_costs, slots_saved
+
+    def _timeline(
+        self,
+        execution: MvmExecution,
+        reduce_costs: Sequence[WordOpCost],
+        optimized: bool,
+    ):
+        """Wall-clock latency of the MVM under the two schedules of Figure 10."""
+        handle = execution.handle
+        cols_per_tile = min(handle.shape[1], self.config.ace.array_cols)
+        rows_per_write = self.config.dce.rows
+
+        # Analog production latency of one partial product (all arrays of a
+        # step operate concurrently; input bits are serial).
+        sample = self.ace.crossbar(handle.array_ids[0])
+        adc_latency = sample.adc.conversion_latency(
+            cols_per_tile, sample.num_adcs, None
+        )
+        per_step_analog = sample.dac.drive_latency(handle.shape[0]) + 1.0 + adc_latency
+
+        steps = execution.plan.num_partial_products * handle.row_tiles if execution.plan else len(
+            execution.partials
+        )
+        transfer = self.shift_unit.transfer_cycles(cols_per_tile)
+        write = float(rows_per_write)
+
+        add_costs = [c for c in reduce_costs if c.name == "add"]
+        write_costs = [c for c in reduce_costs if c.name == "write_vr"]
+        add_uops_per_bit = add_costs[0].uops_per_bit if add_costs else 12.0
+        depth = self.config.dce.pipeline_depth
+
+        breakdown: Dict[str, float] = {}
+        if optimized:
+            # Figure 10b: shifts happen in flight; ADC production, network
+            # transfer, and DCE writes are rate-matched and overlap, so the
+            # steady-state step cost is their maximum; the pipelined ADD
+            # stream drains afterwards.
+            step_cost = max(per_step_analog, transfer, write)
+            analog_phase = steps * step_cost
+            add_stream = (
+                add_uops_per_bit * depth + max(0, len(add_costs) - 1) * add_uops_per_bit
+                if add_costs
+                else 0.0
+            )
+            breakdown["analog_and_transfer"] = analog_phase
+            breakdown["pipelined_adds"] = add_stream
+            total = analog_phase + add_stream
+        else:
+            # Figure 10a: every partial product pays analog production, write,
+            # an explicit digital shift, and a full (unpipelined) ADD before
+            # the next one may start.
+            shift_cost = float(execution.plan.max_shift if execution.plan else depth)
+            per_partial = (
+                per_step_analog + write + shift_cost + add_uops_per_bit * depth
+            )
+            total = steps * per_partial
+            breakdown["serialized_steps"] = total
+        breakdown["total"] = total
+        return total, breakdown
+
+    # ------------------------------------------------------------------ #
+    # Convenience passthroughs                                             #
+    # ------------------------------------------------------------------ #
+    def pipeline(self, index: int):
+        """Access a digital pipeline of this tile's DCE."""
+        return self.dce.pipeline(index)
+
+    def expected_mvm(self, handle: MatrixHandle, vector: np.ndarray) -> np.ndarray:
+        """Noise-free reference result (for verification)."""
+        return self.ace.expected_mvm(handle, vector)
+
+    @property
+    def snapshot(self):
+        """Snapshot of the tile's cost ledger."""
+        return self.ledger.snapshot()

@@ -1,0 +1,106 @@
+"""The instruction injection unit (IIU, Section 4.2).
+
+A single MVM's reduction is hundreds of µops: every partial product needs a
+(pre-shifted) write followed by a pipelined ADD, and each ADD is itself tens
+of Boolean primitives.  If the front end had to expand and issue all of
+them, its issue/dispatch logic would stall on every MVM.  The IIU exploits
+the regularity of the sequence -- the same ADD repeated with incrementing
+register arguments -- and is therefore just a small table plus a counter
+that injects the µop stream directly into the digital issue queues, freeing
+the front end to serve other HCTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..analog.bitslicing import ShiftAddPlan
+from ..digital.microops import WordOpCost
+from ..digital.pipeline import BitPipeline
+
+__all__ = ["InjectionTableEntry", "InstructionInjectionUnit"]
+
+
+@dataclass(frozen=True)
+class InjectionTableEntry:
+    """One row of the IIU table: which registers the next ADD combines."""
+
+    step: int
+    accumulator_vr: int
+    operand_vr: int
+    shift: int
+
+
+@dataclass
+class InstructionInjectionUnit:
+    """Expands shift-and-add reductions without involving the front end."""
+
+    #: The configured reduction table (one entry per partial product).
+    table: List[InjectionTableEntry] = field(default_factory=list)
+    #: Counter tracking how many entries have been injected so far.
+    counter: int = 0
+    #: µop sequences injected over the unit's lifetime (statistics).
+    injections: int = 0
+    #: Front-end instruction slots saved by injecting locally (statistics).
+    front_end_slots_saved: int = 0
+
+    def configure(self, plan: ShiftAddPlan, accumulator_vr: int, staging_vrs: Sequence[int]) -> None:
+        """Program the table for a new vACore / MVM shape.
+
+        ``staging_vrs`` are the registers the shift unit writes incoming
+        partial products into, cycled round-robin; the accumulator collects
+        the running sum.
+        """
+        self.table = []
+        steps = plan.steps
+        for index, step in enumerate(steps):
+            operand = staging_vrs[index % len(staging_vrs)]
+            self.table.append(
+                InjectionTableEntry(
+                    step=index,
+                    accumulator_vr=accumulator_vr,
+                    operand_vr=operand,
+                    shift=step.shift,
+                )
+            )
+        self.counter = 0
+
+    def next_entry(self) -> Optional[InjectionTableEntry]:
+        """The next table entry to inject, or ``None`` when the table is done."""
+        if self.counter >= len(self.table):
+            return None
+        entry = self.table[self.counter]
+        self.counter += 1
+        return entry
+
+    def reset(self) -> None:
+        """Rewind the counter for the next MVM using the same table."""
+        self.counter = 0
+
+    def inject_reduction(
+        self,
+        pipeline: BitPipeline,
+        partial_values,
+        accumulator_vr: int,
+        staging_vrs: Sequence[int],
+        shifts: Sequence[int],
+    ) -> Tuple[List[WordOpCost], int]:
+        """Execute the full reduction on ``pipeline`` and return its costs.
+
+        ``partial_values`` are the already-shifted partial-product vectors
+        (the shift unit applied the shifts in flight); the IIU only has to
+        issue the write + ADD stream.  Returns the word-op costs and the
+        number of front-end instruction slots this injection saved.
+        """
+        costs: List[WordOpCost] = []
+        pipeline.clear_vr(accumulator_vr)
+        for index, values in enumerate(partial_values):
+            staging = staging_vrs[index % len(staging_vrs)]
+            costs.append(pipeline.write_vr(staging, values))
+            costs.append(pipeline.add(accumulator_vr, accumulator_vr, staging))
+        self.injections += 1
+        # Without the IIU every µop of every ADD would occupy a front-end slot.
+        saved = int(sum(c.total_uops for c in costs))
+        self.front_end_slots_saved += saved
+        return costs, saved

@@ -1,0 +1,101 @@
+"""Virtual analog cores (vACores, Section 4.2).
+
+Analog accelerators normally hard-wire their post-processing logic to one
+operand width.  DARTH-PUM instead exposes a *virtual analog core*: a logical
+grouping of analog arrays inside one ACE that together hold operands of a
+requested ``element_size`` at a requested ``bits_per_cell``.  Allocating a
+vACore configures the shift units and the instruction injection unit with
+the matching shift-and-add sequence, so changing precision never requires
+redesigning post-processing hardware -- only the shift lengths and ADD
+arguments change.  Firmware tracks vACores; an HCT may only hold vACores of
+one bit width at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analog.ace import MatrixHandle
+from ..analog.bitslicing import ShiftAddPlan
+from ..errors import AllocationError, ConfigurationError
+
+__all__ = ["VACore", "VACoreManager"]
+
+
+@dataclass
+class VACore:
+    """A logical analog core of a fixed element size and cell precision."""
+
+    core_id: int
+    element_size: int
+    bits_per_cell: int
+    #: Arrays grouped into this core (filled in when a matrix is stored).
+    array_ids: Tuple[int, ...] = ()
+    #: The matrix handle currently resident in this core, if any.
+    handle: Optional[MatrixHandle] = None
+
+    def __post_init__(self) -> None:
+        if self.element_size < 1:
+            raise ConfigurationError("element_size must be >= 1 bit")
+        if self.bits_per_cell < 1:
+            raise ConfigurationError("bits_per_cell must be >= 1")
+        if self.bits_per_cell > self.element_size:
+            raise ConfigurationError("bits_per_cell cannot exceed element_size")
+
+    @property
+    def arrays_per_value(self) -> int:
+        """Analog arrays needed to hold one full-width value."""
+        return -(-self.element_size // self.bits_per_cell)
+
+    def shift_add_plan(self, input_bits: Optional[int] = None) -> ShiftAddPlan:
+        """The reduction plan the IIU and shift units are configured with."""
+        return ShiftAddPlan(
+            input_bits=self.element_size if input_bits is None else input_bits,
+            weight_slices=self.arrays_per_value,
+            bits_per_cell=self.bits_per_cell,
+        )
+
+    def bind(self, handle: MatrixHandle) -> None:
+        """Associate a programmed matrix with this core."""
+        if handle.bits_per_cell != self.bits_per_cell:
+            raise AllocationError(
+                "matrix bits_per_cell does not match the vACore configuration"
+            )
+        self.handle = handle
+        self.array_ids = handle.array_ids
+
+
+@dataclass
+class VACoreManager:
+    """Firmware-level tracking of the vACores allocated on one HCT."""
+
+    cores: List[VACore] = field(default_factory=list)
+    _next_id: int = 0
+
+    def allocate(self, element_size: int, bits_per_cell: int) -> VACore:
+        """Allocate a new vACore; all cores on an HCT share one bit width."""
+        if self.cores and self.cores[0].element_size != element_size:
+            raise AllocationError(
+                f"HCT already holds vACores of {self.cores[0].element_size}-bit "
+                f"elements; cannot mix with {element_size}-bit elements"
+            )
+        core = VACore(core_id=self._next_id, element_size=element_size,
+                      bits_per_cell=bits_per_cell)
+        self.cores.append(core)
+        self._next_id += 1
+        return core
+
+    def release(self, core: VACore) -> None:
+        """Release a vACore (its arrays become free once the matrix is released)."""
+        self.cores = [c for c in self.cores if c.core_id != core.core_id]
+
+    def reconfigure(self, element_size: int, bits_per_cell: int) -> None:
+        """Change the HCT-wide precision (drops all existing vACores)."""
+        self.cores.clear()
+        self.allocate(element_size, bits_per_cell)
+
+    @property
+    def element_size(self) -> Optional[int]:
+        """The common element size of the resident vACores, if any."""
+        return self.cores[0].element_size if self.cores else None

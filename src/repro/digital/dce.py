@@ -1,0 +1,252 @@
+"""The Digital Compute Element (DCE) of a hybrid compute tile.
+
+A DCE bundles 64 RACER-style bit pipelines with the control circuitry that
+dispatches µops to them (Table 2).  Beyond plain RACER, DARTH-PUM's DCE adds
+*element-wise loads and stores* (Section 4.2): a pipeline can use the values
+stored in one of its vector registers as row addresses into another pipeline
+of the same HCT, which is how the AES S-box lookup avoids the prohibitively
+expensive copy+mask+AND sequence RACER would otherwise need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigurationError, ExecutionError
+from ..metrics import CostLedger
+from .logic import LogicFamily, oscar_family
+from .microops import WordOpCost, WordOpKind, stream_cycles
+from .pipeline import BitPipeline
+
+__all__ = ["DigitalComputeElement", "DceConfig"]
+
+
+class DceConfig:
+    """Geometry of a digital compute element (Table 2 defaults)."""
+
+    def __init__(
+        self,
+        num_pipelines: int = 64,
+        pipeline_depth: int = 64,
+        rows: int = 64,
+        cols: int = 64,
+        issue_queue_depth: int = 64,
+    ) -> None:
+        if num_pipelines < 1:
+            raise ConfigurationError("a DCE needs at least one pipeline")
+        self.num_pipelines = int(num_pipelines)
+        self.pipeline_depth = int(pipeline_depth)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.issue_queue_depth = int(issue_queue_depth)
+
+    @property
+    def arrays_per_pipeline(self) -> int:
+        """Number of digital PUM arrays in one pipeline."""
+        return self.pipeline_depth
+
+    @property
+    def total_arrays(self) -> int:
+        """Total digital PUM arrays in the DCE."""
+        return self.num_pipelines * self.pipeline_depth
+
+    @property
+    def capacity_bits(self) -> int:
+        """Raw storage capacity of the DCE in bits."""
+        return self.total_arrays * self.rows * self.cols
+
+
+class DigitalComputeElement:
+    """A collection of bit pipelines plus dispatch and element-wise access.
+
+    Parameters
+    ----------
+    config:
+        DCE geometry.
+    family:
+        Digital logic family shared by every pipeline.
+    ledger:
+        Cost ledger shared with the enclosing HCT.
+    lazy:
+        When true (default), pipelines are instantiated on first use, which
+        keeps chip-scale experiments cheap: a full Table-2 DCE holds 4096
+        arrays and most experiments touch only a few pipelines.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DceConfig] = None,
+        family: Optional[LogicFamily] = None,
+        ledger: Optional[CostLedger] = None,
+        lazy: bool = True,
+        auto_cycles: bool = True,
+    ) -> None:
+        self.config = config if config is not None else DceConfig()
+        self.family = family if family is not None else oscar_family()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.auto_cycles = bool(auto_cycles)
+        self._lazy = bool(lazy)
+        self._pipelines: Dict[int, BitPipeline] = {}
+        if not lazy:
+            for index in range(self.config.num_pipelines):
+                self._materialise(index)
+        #: Pipelines reserved (marked dead) by a pipeline-reserve instruction.
+        self._reserved: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Pipeline management                                                  #
+    # ------------------------------------------------------------------ #
+    def _materialise(self, index: int) -> BitPipeline:
+        if not 0 <= index < self.config.num_pipelines:
+            raise CapacityError(
+                f"pipeline index {index} out of range [0, {self.config.num_pipelines})"
+            )
+        if index not in self._pipelines:
+            self._pipelines[index] = BitPipeline(
+                depth=self.config.pipeline_depth,
+                rows=self.config.rows,
+                cols=self.config.cols,
+                family=self.family,
+                ledger=self.ledger,
+                auto_cycles=self.auto_cycles,
+            )
+        return self._pipelines[index]
+
+    def pipeline(self, index: int) -> BitPipeline:
+        """Return pipeline ``index``, creating it on first use."""
+        return self._materialise(index)
+
+    @property
+    def active_pipelines(self) -> Tuple[int, ...]:
+        """Indices of pipelines that have been touched so far."""
+        return tuple(sorted(self._pipelines))
+
+    def reserve_pipeline(self, index: int) -> None:
+        """Pipeline-reserve instruction: mark all data in a pipeline dead.
+
+        The MVM reduction sequence may need up to N temporary registers for
+        an N-bit input; reserving a pipeline guarantees the analog side can
+        stream partial products into it without corrupting live values
+        (Section 4.2).
+        """
+        self._materialise(index)
+        self._reserved.add(index)
+        self.pipeline(index).reserved = True
+
+    def release_pipeline(self, index: int) -> None:
+        """Release a previously reserved pipeline."""
+        self._reserved.discard(index)
+        if index in self._pipelines:
+            self._pipelines[index].reserved = False
+
+    def is_reserved(self, index: int) -> bool:
+        """Whether a pipeline is currently reserved for analog output."""
+        return index in self._reserved
+
+    # ------------------------------------------------------------------ #
+    # Element-wise load/store (Section 4.2)                                #
+    # ------------------------------------------------------------------ #
+    def element_load(
+        self,
+        dst_pipeline: int,
+        dst_vr: int,
+        addr_pipeline: int,
+        addr_vr: int,
+        table_pipeline: int,
+        table_base_vr: int = 0,
+        num_elements: Optional[int] = None,
+    ) -> WordOpCost:
+        """Gather: ``dst[e] = table[addr[e]]`` one element per two cycles.
+
+        Each element of the address register selects a row in the table
+        pipeline: row ``addr % rows`` of VR ``table_base_vr + addr // rows``.
+        The address range is limited to pipelines within the same HCT.
+        """
+        dst = self.pipeline(dst_pipeline)
+        addr = self.pipeline(addr_pipeline)
+        table = self.pipeline(table_pipeline)
+        rows = dst.rows
+        count = rows if num_elements is None else int(num_elements)
+        if count > rows:
+            raise ExecutionError("cannot gather more elements than pipeline rows")
+        addresses = addr.read_vr(addr_vr)
+        for element in range(count):
+            address = int(addresses[element])
+            table_vr = table_base_vr + address // table.rows
+            table_row = address % table.rows
+            if table_vr >= table.num_vrs:
+                raise ExecutionError(
+                    f"address {address} exceeds the table stored in pipeline "
+                    f"{table_pipeline}"
+                )
+            dst.write_element(dst_vr, element, table.read_element(table_vr, table_row))
+        cost = WordOpCost("element_load", WordOpKind.ELEMENT, 1.0, dst.depth, count)
+        self._charge(cost, dst)
+        return cost
+
+    def element_store(
+        self,
+        src_pipeline: int,
+        src_vr: int,
+        addr_pipeline: int,
+        addr_vr: int,
+        table_pipeline: int,
+        table_base_vr: int = 0,
+        num_elements: Optional[int] = None,
+    ) -> WordOpCost:
+        """Scatter: ``table[addr[e]] = src[e]`` one element per two cycles."""
+        src = self.pipeline(src_pipeline)
+        addr = self.pipeline(addr_pipeline)
+        table = self.pipeline(table_pipeline)
+        count = src.rows if num_elements is None else int(num_elements)
+        addresses = addr.read_vr(addr_vr)
+        values = src.read_vr(src_vr)
+        for element in range(count):
+            address = int(addresses[element])
+            table_vr = table_base_vr + address // table.rows
+            table_row = address % table.rows
+            if table_vr >= table.num_vrs:
+                raise ExecutionError(
+                    f"address {address} exceeds the table stored in pipeline "
+                    f"{table_pipeline}"
+                )
+            table.write_element(table_vr, table_row, int(values[element]))
+        cost = WordOpCost("element_store", WordOpKind.ELEMENT, 1.0, src.depth, count)
+        self._charge(cost, src)
+        return cost
+
+    def copy_vr_between_pipelines(
+        self, src_pipeline: int, src_vr: int, dst_pipeline: int, dst_vr: int
+    ) -> WordOpCost:
+        """Vector copy between two pipelines of the same DCE (RACER COPY)."""
+        src = self.pipeline(src_pipeline)
+        dst = self.pipeline(dst_pipeline)
+        if src.depth != dst.depth:
+            raise ExecutionError("pipelines must have matching depths to copy")
+        values = src.read_vr(src_vr)
+        dst.write_vr(dst_vr, values, charge=False)
+        cost = WordOpCost("copy_vr", WordOpKind.WRITE, 1.0, dst.depth, dst.rows)
+        self._charge(cost, dst)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Accounting                                                           #
+    # ------------------------------------------------------------------ #
+    def _charge(self, cost: WordOpCost, pipeline: BitPipeline) -> None:
+        pipeline.op_log.append(cost)
+        if self.auto_cycles:
+            self.ledger.charge(f"dce.{cost.name}", cycles=cost.unpipelined_cycles)
+        self.ledger.charge(f"dce.{cost.kind.value}", energy_pj=0.005 * cost.rows * cost.bits)
+
+    def charge_stream(self, costs: Sequence[WordOpCost], category: str = "dce.stream") -> float:
+        """Charge a pipelined stream of operations (see Figure 10b)."""
+        cycles = stream_cycles(list(costs), pipelined=True)
+        self.ledger.charge(category, cycles=cycles)
+        return cycles
+
+    @property
+    def total_uops(self) -> int:
+        """Total µops executed across all materialised pipelines."""
+        return sum(p.total_uops for p in self._pipelines.values())

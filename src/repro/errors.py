@@ -1,0 +1,51 @@
+"""Exception hierarchy for the DARTH-PUM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A resource (arrays, pipelines, registers, HCTs) has been exhausted."""
+
+
+class AllocationError(CapacityError):
+    """A requested allocation (vACore, matrix, pipeline) cannot be satisfied."""
+
+
+class MappingError(ReproError):
+    """A workload cannot be mapped onto the requested hardware resources."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed or used illegally."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a program or kernel."""
+
+
+class ArbiterConflictError(ExecutionError):
+    """An analog and a digital operation attempted to use the same resource."""
+
+
+class RegisterLiveError(ExecutionError):
+    """An MVM attempted to overwrite a live vector register without a reserve."""
+
+
+class DeviceError(ReproError):
+    """A memory-device level failure (programming, stuck-at, range)."""
+
+
+class QuantizationError(ReproError):
+    """A value cannot be represented with the requested precision."""

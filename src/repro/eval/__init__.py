@@ -1,0 +1,39 @@
+"""Evaluation harness: regenerates the paper's figures and tables."""
+
+from .experiments import (
+    WORKLOADS,
+    figure07_naive_hybrid,
+    figure13_throughput,
+    figure14_aes_breakdown,
+    figure15_resnet_layers,
+    figure16_energy,
+    figure17_adc_comparison,
+    figure18_gpu_comparison,
+    headline_results,
+    run_all,
+    section75_accuracy,
+    table2_configuration,
+    table3_area_power,
+    workload_profiles,
+)
+from .report import format_experiment, format_table, render_report
+
+__all__ = [
+    "WORKLOADS",
+    "figure07_naive_hybrid",
+    "figure13_throughput",
+    "figure14_aes_breakdown",
+    "figure15_resnet_layers",
+    "figure16_energy",
+    "figure17_adc_comparison",
+    "figure18_gpu_comparison",
+    "format_experiment",
+    "format_table",
+    "headline_results",
+    "render_report",
+    "run_all",
+    "section75_accuracy",
+    "table2_configuration",
+    "table3_area_power",
+    "workload_profiles",
+]

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["format_table", "format_experiment", "render_report"]
+
+
+def format_table(rows: Mapping[str, Mapping[str, float]], title: str = "",
+                 value_format: str = "{:8.2f}") -> str:
+    """Render a nested mapping as an aligned text table.
+
+    Outer keys become row labels; inner keys become columns.
+    """
+    if not rows:
+        return title
+    columns = list(next(iter(rows.values())).keys())
+    label_width = max(len(str(label)) for label in rows) + 2
+    header = " " * label_width + "".join(f"{col:>12}" for col in columns)
+    lines = [title, header] if title else [header]
+    for label, row in rows.items():
+        cells = "".join(
+            f"{value_format.format(row[col]):>12}" if isinstance(row.get(col), (int, float))
+            else f"{str(row.get(col, '')):>12}"
+            for col in columns
+        )
+        lines.append(f"{label:<{label_width}}" + cells)
+    return "\n".join(lines)
+
+
+def format_experiment(name: str, data: object) -> str:
+    """Render one experiment's result dictionary for the report."""
+    if isinstance(data, dict) and data and all(isinstance(v, dict) for v in data.values()):
+        try:
+            return format_table(data, title=f"== {name} ==")  # type: ignore[arg-type]
+        except Exception:  # pragma: no cover - fall back to repr for odd shapes
+            pass
+    lines = [f"== {name} =="]
+    if isinstance(data, dict):
+        for key, value in data.items():
+            lines.append(f"  {key}: {value}")
+    else:
+        lines.append(f"  {data}")
+    return "\n".join(lines)
+
+
+def render_report(results: Dict[str, object]) -> str:
+    """Render the full experiment suite as a text report."""
+    sections = [format_experiment(name, data) for name, data in results.items()]
+    return "\n\n".join(sections)

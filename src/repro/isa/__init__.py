@@ -1,0 +1,18 @@
+"""Hybrid ISA: instructions, programs, executor, and assembler."""
+
+from .assembler import assemble, disassemble
+from .instructions import Instruction, InstructionClass, Opcode, OpcodeSpec, OPCODE_SPECS
+from .program import ExecutionTrace, Program, ProgramExecutor
+
+__all__ = [
+    "ExecutionTrace",
+    "Instruction",
+    "InstructionClass",
+    "OPCODE_SPECS",
+    "Opcode",
+    "OpcodeSpec",
+    "Program",
+    "ProgramExecutor",
+    "assemble",
+    "disassemble",
+]

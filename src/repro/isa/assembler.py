@@ -1,0 +1,74 @@
+"""A tiny textual assembler for the hybrid ISA.
+
+The syntax is one instruction per line: an opcode mnemonic followed by
+``key=value`` operand pairs.  Comments start with ``#``; blank lines are
+ignored.  Values are parsed as integers when possible, otherwise kept as
+strings (which is how matrix/data tags are written).
+
+Example::
+
+    # reduce two vectors
+    dwrite pipeline=0 vr=0 data=a
+    dwrite pipeline=0 vr=1 data=b
+    dadd   pipeline=0 dst=2 a=0 b=1
+    dread  pipeline=0 vr=2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import IsaError
+from .instructions import Instruction, Opcode
+from .program import Program
+
+__all__ = ["assemble", "disassemble"]
+
+_MNEMONICS: Dict[str, Opcode] = {op.value: op for op in Opcode}
+
+
+def _parse_value(text: str):
+    """Parse an operand value: int if possible, else bool, else string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble textual source into a :class:`Program`."""
+    program = Program(name=name)
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic = parts[0].lower()
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise IsaError(f"line {line_number}: unknown mnemonic {mnemonic!r}")
+        operands: Dict[str, object] = {}
+        for token in parts[1:]:
+            if "=" not in token:
+                raise IsaError(
+                    f"line {line_number}: operand {token!r} must be key=value"
+                )
+            key, value = token.split("=", 1)
+            operands[key] = _parse_value(value)
+        try:
+            program.instructions.append(Instruction(opcode=opcode, operands=operands))
+        except IsaError as exc:
+            raise IsaError(f"line {line_number}: {exc}") from exc
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Render a program back to assembler text (round-trips with assemble)."""
+    lines: List[str] = []
+    for instruction in program:
+        operands = " ".join(f"{k}={v}" for k, v in instruction.operands.items())
+        lines.append(f"{instruction.opcode.value} {operands}".rstrip())
+    return "\n".join(lines)

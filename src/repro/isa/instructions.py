@@ -1,0 +1,162 @@
+"""The DARTH-PUM hybrid ISA (Section 4.2, 4.4).
+
+The ISA contains three instruction classes:
+
+* **analog** instructions drive the ACE (programming matrices, executing
+  MVMs) and implicitly involve the DCE for the reduction;
+* **digital** instructions operate purely on DCE vector registers
+  (bitwise/arithmetic word ops, shifts, element-wise loads/stores); and
+* **coordination** instructions manage the hybrid interaction (pipeline
+  reserve/release, vACore allocation, mode switches, fences).
+
+Instructions are architectural: the front end decodes them and either issues
+them to the target HCT or hands the expansion to the instruction injection
+unit.  The :mod:`repro.isa.assembler` provides a tiny textual syntax used by
+the examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..errors import IsaError
+
+__all__ = ["InstructionClass", "Opcode", "Instruction", "OPCODE_SPECS", "OpcodeSpec"]
+
+
+class InstructionClass(Enum):
+    """Dispatch class of an instruction."""
+
+    ANALOG = "analog"
+    DIGITAL = "digital"
+    COORDINATION = "coordination"
+
+
+class Opcode(Enum):
+    """All architectural opcodes of the hybrid ISA."""
+
+    # Analog-class instructions.
+    SET_MATRIX = "set_matrix"
+    UPDATE_ROW = "update_row"
+    UPDATE_COL = "update_col"
+    MVM = "mvm"
+
+    # Digital-class instructions (word-level; expanded to µops per HCT).
+    DWRITE = "dwrite"
+    DREAD = "dread"
+    DCOPY = "dcopy"
+    DNOT = "dnot"
+    DAND = "dand"
+    DOR = "dor"
+    DXOR = "dxor"
+    DNOR = "dnor"
+    DADD = "dadd"
+    DSUB = "dsub"
+    DMUL = "dmul"
+    DSHL = "dshl"
+    DSHR = "dshr"
+    DROTL = "drotl"
+    DROTR = "drotr"
+    DCMPLT = "dcmplt"
+    DMUX = "dmux"
+    DRELU = "drelu"
+    ELEM_LOAD = "elem_load"
+    ELEM_STORE = "elem_store"
+
+    # Coordination-class instructions.
+    PIPE_RESERVE = "pipe_reserve"
+    PIPE_RELEASE = "pipe_release"
+    ALLOC_VACORE = "alloc_vacore"
+    DISABLE_ANALOG = "disable_analog"
+    DISABLE_DIGITAL = "disable_digital"
+    FENCE = "fence"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Static properties of an opcode: class, operand names, typical latency."""
+
+    klass: InstructionClass
+    operands: Tuple[str, ...]
+    #: Order-of-magnitude latency used by the front end to model HCT busy
+    #: time; the actual latency comes from the HCT execution itself.
+    expected_cycles: float
+
+
+OPCODE_SPECS: Dict[Opcode, OpcodeSpec] = {
+    Opcode.SET_MATRIX: OpcodeSpec(InstructionClass.ANALOG, ("handle", "shape", "value_bits", "bits_per_cell"), 1000.0),
+    Opcode.UPDATE_ROW: OpcodeSpec(InstructionClass.ANALOG, ("handle", "row"), 500.0),
+    Opcode.UPDATE_COL: OpcodeSpec(InstructionClass.ANALOG, ("handle", "col"), 500.0),
+    Opcode.MVM: OpcodeSpec(InstructionClass.ANALOG, ("handle", "vector_vr", "result_vr", "input_bits"), 300.0),
+    Opcode.DWRITE: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "vr"), 64.0),
+    Opcode.DREAD: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "vr"), 64.0),
+    Opcode.DCOPY: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src"), 1.0),
+    Opcode.DNOT: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src"), 1.0),
+    Opcode.DAND: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 3.0),
+    Opcode.DOR: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 2.0),
+    Opcode.DXOR: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 5.0),
+    Opcode.DNOR: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 1.0),
+    Opcode.DADD: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 12.0),
+    Opcode.DSUB: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 13.0),
+    Opcode.DMUL: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 200.0),
+    Opcode.DSHL: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src", "amount"), 8.0),
+    Opcode.DSHR: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src", "amount"), 8.0),
+    Opcode.DROTL: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src", "amount"), 8.0),
+    Opcode.DROTR: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src", "amount"), 8.0),
+    Opcode.DCMPLT: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "a", "b"), 13.0),
+    Opcode.DMUX: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "select", "a", "b"), 10.0),
+    Opcode.DRELU: OpcodeSpec(InstructionClass.DIGITAL, ("pipeline", "dst", "src"), 4.0),
+    Opcode.ELEM_LOAD: OpcodeSpec(InstructionClass.DIGITAL, ("dst_pipeline", "dst_vr", "addr_pipeline", "addr_vr", "table_pipeline", "table_base"), 128.0),
+    Opcode.ELEM_STORE: OpcodeSpec(InstructionClass.DIGITAL, ("src_pipeline", "src_vr", "addr_pipeline", "addr_vr", "table_pipeline", "table_base"), 128.0),
+    Opcode.PIPE_RESERVE: OpcodeSpec(InstructionClass.COORDINATION, ("pipeline",), 1.0),
+    Opcode.PIPE_RELEASE: OpcodeSpec(InstructionClass.COORDINATION, ("pipeline",), 1.0),
+    Opcode.ALLOC_VACORE: OpcodeSpec(InstructionClass.COORDINATION, ("element_size", "bits_per_cell"), 1.0),
+    Opcode.DISABLE_ANALOG: OpcodeSpec(InstructionClass.COORDINATION, ("handle",), 100.0),
+    Opcode.DISABLE_DIGITAL: OpcodeSpec(InstructionClass.COORDINATION, (), 1.0),
+    Opcode.FENCE: OpcodeSpec(InstructionClass.COORDINATION, (), 1.0),
+    Opcode.NOP: OpcodeSpec(InstructionClass.COORDINATION, (), 1.0),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One hybrid-ISA instruction with named operands."""
+
+    opcode: Opcode
+    operands: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        spec = OPCODE_SPECS.get(self.opcode)
+        if spec is None:
+            raise IsaError(f"unknown opcode {self.opcode!r}")
+        missing = [name for name in spec.operands if name not in self.operands]
+        if missing:
+            raise IsaError(
+                f"{self.opcode.value} is missing operands: {', '.join(missing)}"
+            )
+
+    @property
+    def spec(self) -> OpcodeSpec:
+        """Static spec of this instruction's opcode."""
+        return OPCODE_SPECS[self.opcode]
+
+    @property
+    def klass(self) -> InstructionClass:
+        """Dispatch class (analog / digital / coordination)."""
+        return self.spec.klass
+
+    @property
+    def expected_cycles(self) -> float:
+        """Front-end estimate of the instruction's occupancy."""
+        return self.spec.expected_cycles
+
+    def operand(self, name: str, default: Optional[object] = None) -> object:
+        """Fetch a named operand."""
+        return self.operands.get(name, default)
+
+    def __str__(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.operands.items())
+        return f"{self.opcode.value} {args}"

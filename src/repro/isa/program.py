@@ -1,0 +1,217 @@
+"""Program container and a functional executor for the hybrid ISA.
+
+A :class:`Program` is an ordered list of instructions targeting one HCT.
+The :class:`ProgramExecutor` interprets digital- and coordination-class
+instructions directly against a :class:`~repro.core.hct.HybridComputeTile`,
+and analog-class instructions through the tile's MVM path, which makes the
+ISA usable end to end (the AES example is written this way) while sharing
+all functional and cost modelling with the library API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError, IsaError
+from .instructions import Instruction, InstructionClass, Opcode
+
+__all__ = ["Program", "ProgramExecutor", "ExecutionTrace"]
+
+
+@dataclass
+class Program:
+    """An ordered sequence of hybrid-ISA instructions."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    name: str = "program"
+
+    def append(self, opcode: Opcode, **operands) -> Instruction:
+        """Append an instruction built from keyword operands."""
+        instruction = Instruction(opcode=opcode, operands=operands)
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: Sequence[Instruction]) -> None:
+        """Append a sequence of already-built instructions."""
+        self.instructions.extend(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def count_by_class(self) -> Dict[str, int]:
+        """Histogram of instruction classes (useful for mix statistics)."""
+        counts: Dict[str, int] = {}
+        for instruction in self.instructions:
+            key = instruction.klass.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of executing a program on one tile."""
+
+    executed: int = 0
+    reads: Dict[int, np.ndarray] = field(default_factory=dict)
+    mvm_results: List[np.ndarray] = field(default_factory=list)
+
+
+class ProgramExecutor:
+    """Interprets hybrid-ISA programs against a hybrid compute tile."""
+
+    def __init__(self, tile) -> None:
+        self.tile = tile
+        #: Matrix handles created by SET_MATRIX, keyed by the program's name.
+        self.handles: Dict[str, object] = {}
+        #: Host-visible data supplied for DWRITE instructions, keyed by tag.
+        self.host_data: Dict[str, np.ndarray] = {}
+
+    def bind_data(self, tag: str, values: np.ndarray) -> None:
+        """Provide host data referenced by ``DWRITE`` instructions."""
+        self.host_data[tag] = np.asarray(values)
+
+    def bind_matrix(self, tag: str, matrix: np.ndarray, value_bits: int = 8,
+                    bits_per_cell: int = 1) -> None:
+        """Pre-stage a matrix for a later ``SET_MATRIX`` instruction."""
+        self.host_data[tag] = np.asarray(matrix)
+
+    def run(self, program: Program) -> ExecutionTrace:
+        """Execute ``program`` in order; returns the values read back."""
+        trace = ExecutionTrace()
+        for instruction in program:
+            self._execute(instruction, trace)
+            trace.executed += 1
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Dispatch                                                             #
+    # ------------------------------------------------------------------ #
+    def _execute(self, instruction: Instruction, trace: ExecutionTrace) -> None:
+        opcode = instruction.opcode
+        ops = instruction.operands
+        tile = self.tile
+
+        if opcode is Opcode.NOP or opcode is Opcode.FENCE:
+            return
+        if opcode is Opcode.PIPE_RESERVE:
+            tile.dce.reserve_pipeline(int(ops["pipeline"]))
+            return
+        if opcode is Opcode.PIPE_RELEASE:
+            tile.dce.release_pipeline(int(ops["pipeline"]))
+            return
+        if opcode is Opcode.ALLOC_VACORE:
+            tile.alloc_vacore(int(ops["element_size"]), int(ops["bits_per_cell"]))
+            return
+        if opcode is Opcode.DISABLE_DIGITAL:
+            tile.disable_digital_mode()
+            return
+        if opcode is Opcode.DISABLE_ANALOG:
+            handle = self.handles[str(ops["handle"])]
+            tile.disable_analog_mode(handle)
+            return
+
+        if opcode is Opcode.SET_MATRIX:
+            tag = str(ops["handle"])
+            matrix = self.host_data.get(tag)
+            if matrix is None:
+                raise ExecutionError(f"no matrix bound for handle tag {tag!r}")
+            self.handles[tag] = tile.set_matrix(
+                matrix,
+                value_bits=int(ops["value_bits"]),
+                bits_per_cell=int(ops["bits_per_cell"]),
+            )
+            return
+        if opcode in (Opcode.UPDATE_ROW, Opcode.UPDATE_COL):
+            tag = str(ops["handle"])
+            handle = self.handles[tag]
+            values = self.host_data[f"{tag}:update"]
+            if opcode is Opcode.UPDATE_ROW:
+                self.handles[tag] = tile.ace.update_row(handle, int(ops["row"]), values)
+            else:
+                self.handles[tag] = tile.ace.update_col(handle, int(ops["col"]), values)
+            return
+        if opcode is Opcode.MVM:
+            tag = str(ops["handle"])
+            handle = self.handles[tag]
+            pipeline = tile.pipeline(int(ops.get("vector_pipeline", 0)))
+            vector = pipeline.read_vr(int(ops["vector_vr"]))[: handle.shape[0]]
+            result = tile.execute_mvm(handle, vector, input_bits=int(ops["input_bits"]))
+            trace.mvm_results.append(result.values)
+            result_pipeline = tile.pipeline(int(ops.get("result_pipeline", 0)))
+            result_pipeline.write_vr(int(ops["result_vr"]), result.values)
+            return
+
+        if instruction.klass is InstructionClass.DIGITAL:
+            self._execute_digital(instruction, trace)
+            return
+        raise IsaError(f"unhandled opcode {opcode}")  # pragma: no cover - defensive
+
+    def _execute_digital(self, instruction: Instruction, trace: ExecutionTrace) -> None:
+        opcode = instruction.opcode
+        ops = instruction.operands
+        tile = self.tile
+
+        if opcode in (Opcode.ELEM_LOAD, Opcode.ELEM_STORE):
+            method = tile.dce.element_load if opcode is Opcode.ELEM_LOAD else tile.dce.element_store
+            key = "dst" if opcode is Opcode.ELEM_LOAD else "src"
+            method(
+                int(ops[f"{key}_pipeline"]),
+                int(ops[f"{key}_vr"]),
+                int(ops["addr_pipeline"]),
+                int(ops["addr_vr"]),
+                int(ops["table_pipeline"]),
+                int(ops["table_base"]),
+            )
+            return
+
+        pipeline = tile.pipeline(int(ops["pipeline"]))
+        if opcode is Opcode.DWRITE:
+            tag = str(ops.get("data", ops["vr"]))
+            values = self.host_data.get(str(tag))
+            if values is None:
+                raise ExecutionError(f"no host data bound for DWRITE tag {tag!r}")
+            pipeline.write_vr(int(ops["vr"]), values)
+        elif opcode is Opcode.DREAD:
+            trace.reads[int(ops["vr"])] = pipeline.read_vr(
+                int(ops["vr"]), signed=bool(ops.get("signed", False))
+            )
+        elif opcode is Opcode.DCOPY:
+            pipeline.copy(int(ops["dst"]), int(ops["src"]))
+        elif opcode is Opcode.DNOT:
+            pipeline.not_(int(ops["dst"]), int(ops["src"]))
+        elif opcode is Opcode.DAND:
+            pipeline.and_(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DOR:
+            pipeline.or_(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DXOR:
+            pipeline.xor(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DNOR:
+            pipeline.nor(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DADD:
+            pipeline.add(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DSUB:
+            pipeline.sub(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DMUL:
+            pipeline.multiply(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DSHL:
+            pipeline.shift_value_left(int(ops["dst"]), int(ops["src"]), int(ops["amount"]))
+        elif opcode is Opcode.DSHR:
+            pipeline.shift_value_right(int(ops["dst"]), int(ops["src"]), int(ops["amount"]))
+        elif opcode is Opcode.DROTL:
+            pipeline.rotate_value_left(int(ops["dst"]), int(ops["src"]), int(ops["amount"]))
+        elif opcode is Opcode.DROTR:
+            pipeline.rotate_value_right(int(ops["dst"]), int(ops["src"]), int(ops["amount"]))
+        elif opcode is Opcode.DCMPLT:
+            pipeline.compare_lt(int(ops["dst"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DMUX:
+            pipeline.mux(int(ops["dst"]), int(ops["select"]), int(ops["a"]), int(ops["b"]))
+        elif opcode is Opcode.DRELU:
+            pipeline.relu(int(ops["dst"]), int(ops["src"]))
+        else:  # pragma: no cover - defensive
+            raise IsaError(f"unhandled digital opcode {opcode}")

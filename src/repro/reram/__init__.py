@@ -1,0 +1,24 @@
+"""ReRAM device substrate shared by the analog and digital PUM models."""
+
+from .device import ConductanceMapper, DeviceParameters
+from .noise import (
+    DriftModel,
+    NoiseConfig,
+    NoiseStack,
+    ProgrammingNoiseModel,
+    ReadNoiseModel,
+    StuckAtFaultModel,
+)
+from .parasitics import ParasiticModel
+
+__all__ = [
+    "ConductanceMapper",
+    "DeviceParameters",
+    "DriftModel",
+    "NoiseConfig",
+    "NoiseStack",
+    "ParasiticModel",
+    "ProgrammingNoiseModel",
+    "ReadNoiseModel",
+    "StuckAtFaultModel",
+]

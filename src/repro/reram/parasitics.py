@@ -1,0 +1,92 @@
+"""Bitline parasitic (IR drop) model.
+
+Section 4.3 observes that when a strictly positive matrix is stored with
+differential cells, all of the current flows down the positive bitline,
+producing large IR (Ohmic) drops along the wire.  The voltage seen by a
+device far from the sense amplifier is therefore smaller than the applied
+voltage, which attenuates its contribution to the accumulated current and
+can flip the ADC output by one or more LSBs.
+
+We model the bitline as a distributed RC ladder in the resistive limit: the
+effective voltage at row ``i`` (counting from the sense amplifier) is reduced
+in proportion to the total current flowing through the wire segments between
+the driver and that row.  A single ``wire_resistance`` parameter (ohms per
+cell pitch) controls the strength of the effect; setting it to zero recovers
+the ideal crossbar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParasiticModel"]
+
+
+@dataclass
+class ParasiticModel:
+    """First-order IR-drop model for crossbar bitlines.
+
+    Parameters
+    ----------
+    wire_resistance_ohm:
+        Resistance of one bitline segment (between two adjacent rows).
+    supply_voltage:
+        Nominal read voltage applied to an activated wordline.
+    """
+
+    wire_resistance_ohm: float = 1.0
+    supply_voltage: float = 0.2
+
+    def attenuation(self, conductances: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Per-device multiplicative attenuation factors in ``[0, 1]``.
+
+        Parameters
+        ----------
+        conductances:
+            ``(rows, cols)`` device conductances in Siemens.
+        inputs:
+            ``(rows,)`` wordline activations (0/1 or analog input levels);
+            only activated rows contribute current and suffer attenuation.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(rows, cols)`` factors by which each device's contribution to
+            the bitline current is reduced.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        inputs = np.asarray(inputs, dtype=float).reshape(-1, 1)
+        if conductances.shape[0] != inputs.shape[0]:
+            raise ValueError("inputs length must match the number of rows")
+        if self.wire_resistance_ohm == 0.0:
+            return np.ones_like(conductances)
+
+        # Ideal per-device currents (unit supply voltage), scaled by inputs.
+        currents = conductances * inputs
+        # Cumulative current that must flow through the segment below row i
+        # (rows are indexed away from the sense amplifier at row 0).
+        cumulative = np.cumsum(currents, axis=0)
+        # Voltage lost before reaching each row: sum over the segments between
+        # the sense amp and that row of (segment resistance * segment current).
+        voltage_drop = self.wire_resistance_ohm * np.cumsum(cumulative, axis=0) * (
+            self.supply_voltage
+        )
+        effective = np.clip(self.supply_voltage - voltage_drop, 0.0, self.supply_voltage)
+        return effective / self.supply_voltage
+
+    def apply(self, conductances: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Return effective conductances after IR drop for the given inputs."""
+        return np.asarray(conductances, dtype=float) * self.attenuation(conductances, inputs)
+
+    def worst_case_drop_fraction(self, conductances: np.ndarray) -> float:
+        """Largest fractional attenuation when every wordline is activated.
+
+        Used by the parasitic compensation scheme (Section 4.3) to check
+        whether the residual IR drop is below one ADC LSB.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        inputs = np.ones(conductances.shape[0])
+        attenuation = self.attenuation(conductances, inputs)
+        return float(1.0 - attenuation.min()) if attenuation.size else 0.0

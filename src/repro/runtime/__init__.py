@@ -1,0 +1,17 @@
+"""Runtime library: the Table 1 programmer-facing API."""
+
+from .allocator import MatrixPlacement, TilePlan, plan_matrix, precision_to_bits_per_cell
+from .apps import AesSession, CnnSession, LlmSession
+from .session import DarthPumDevice, MatrixAllocation
+
+__all__ = [
+    "AesSession",
+    "CnnSession",
+    "LlmSession",
+    "DarthPumDevice",
+    "MatrixAllocation",
+    "MatrixPlacement",
+    "TilePlan",
+    "plan_matrix",
+    "precision_to_bits_per_cell",
+]

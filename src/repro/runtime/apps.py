@@ -1,0 +1,165 @@
+"""Application-specific runtime calls (Table 1, Section 4.4).
+
+These wrap the workload mappings behind the high-level calls the paper
+exposes to programmers with no knowledge of the underlying hardware:
+
+* ``AesSession``   -- ``AES_initArrays()`` / ``AES_encrypt()`` / ``AES_decrypt()``
+* ``CnnSession``   -- ``CNN_setModel()`` / ``CNN_runInference()`` /
+  ``CNN_changeActivation()``
+* ``LlmSession``   -- ``LLM_buildEncoder()`` / ``LLM_runInference()`` /
+  ``LLM_changeActivation()``
+
+AES runs fully functionally on a hybrid compute tile (bit-exact against the
+FIPS-197 reference).  The CNN and LLM sessions run inference functionally in
+the numpy frameworks (optionally with analog-noise injection) while exposing
+the HCT allocation the mapping implies -- the same split the paper uses,
+where full-network inference is evaluated through the performance model
+rather than the bit-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import HctConfig
+from ..core.hct import HybridComputeTile
+from ..errors import MappingError
+from ..workloads.aes.mapping import DarthPumAes
+from ..workloads.aes.reference import decrypt_block
+from ..workloads.cnn.mapping import CnnMapping, NoisyInferenceEngine
+from ..workloads.cnn.resnet import ResNet20
+from ..workloads.llm.encoder import EncoderConfig, TransformerEncoder
+from ..workloads.llm.mapping import LlmMapping
+
+__all__ = ["AesSession", "CnnSession", "LlmSession"]
+
+
+@dataclass
+class AesSession:
+    """``AES_initArrays`` / ``AES_encrypt`` / ``AES_decrypt`` (Table 1)."""
+
+    tile: Optional[HybridComputeTile] = None
+    key: Optional[bytes] = None
+    _engine: DarthPumAes = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        tile = self.tile if self.tile is not None else HybridComputeTile(HctConfig.small())
+        self.tile = tile
+        # AES_initArrays(): reserve HCT resources, pre-load the S-box, store
+        # the MixColumns matrix in the analog arrays.
+        self._engine = DarthPumAes(tile, list(self.key) if self.key is not None else None)
+
+    def encrypt(self, plaintext: bytes, key: Optional[bytes] = None) -> bytes:
+        """AES_encrypt(): encrypt one 16-byte block on the hybrid tile."""
+        if key is not None:
+            self.key = key
+        if self.key is None:
+            raise MappingError("AES_encrypt needs a key (pass one or set it at init)")
+        return self._engine.encrypt_bytes(plaintext, self.key)
+
+    def decrypt(self, ciphertext: bytes, key: Optional[bytes] = None) -> bytes:
+        """AES_decrypt(): decrypt a block (host-side reference decryption)."""
+        if key is not None:
+            self.key = key
+        if self.key is None:
+            raise MappingError("AES_decrypt needs a key (pass one or set it at init)")
+        return bytes(decrypt_block(list(ciphertext), list(self.key)))
+
+    @property
+    def kernel_cycles(self):
+        """Per-kernel cycle breakdown accumulated so far (Figure 14 style)."""
+        return self._engine.kernel_cycles
+
+
+@dataclass
+class CnnSession:
+    """``CNN_setModel`` / ``CNN_runInference`` / ``CNN_changeActivation``."""
+
+    model: Optional[ResNet20] = None
+    hct_config: Optional[HctConfig] = None
+    accuracy_target: int = 0
+    noise_lsb: float = 0.0
+    _mapping: CnnMapping = field(init=False, repr=False)
+    _activation: Callable[[np.ndarray], np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # CNN_setModel(): allocate and store the model layers to HCTs, one
+        # layer distribution per the mapping; the accuracy target (0-2) maps
+        # to bits per cell exactly like the precision scale of setMatrix().
+        self.model = self.model if self.model is not None else ResNet20()
+        bits_per_cell = {0: 1, 1: 4, 2: 8}[self.accuracy_target]
+        self._mapping = CnnMapping(
+            self.model,
+            self.hct_config if self.hct_config is not None else HctConfig.paper_default(),
+            bits_per_cell=bits_per_cell,
+        )
+        self._activation = lambda x: np.maximum(x, 0)
+
+    @property
+    def hcts_allocated(self) -> int:
+        """HCTs reserved by CNN_setModel()."""
+        return self._mapping.total_hcts
+
+    @property
+    def mapping(self) -> CnnMapping:
+        """The per-layer placement produced by CNN_setModel()."""
+        return self._mapping
+
+    def change_activation(self, activation: Callable[[np.ndarray], np.ndarray]) -> None:
+        """CNN_changeActivation(): swap the activation used between layers."""
+        self._activation = activation
+
+    def run_inference(self, images: np.ndarray) -> np.ndarray:
+        """CNN_runInference(): return logits for a batch of NCHW images.
+
+        With ``noise_lsb > 0`` every MVM goes through the analog-noise model
+        (the Section 7.5 study); otherwise plain quantised inference runs.
+        """
+        engine = NoisyInferenceEngine(self.model, noise_lsb=self.noise_lsb)
+        return engine.forward(np.asarray(images))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch."""
+        return np.argmax(self.run_inference(images), axis=1)
+
+
+@dataclass
+class LlmSession:
+    """``LLM_buildEncoder`` / ``LLM_runInference`` / ``LLM_changeActivation``."""
+
+    config: Optional[EncoderConfig] = None
+    hct_config: Optional[HctConfig] = None
+    seed: int = 0
+    _encoder: TransformerEncoder = field(init=False, repr=False)
+    _mapping: LlmMapping = field(init=False, repr=False)
+    _integer_kernels: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        # LLM_buildEncoder(): allocate and store the encoder's static
+        # matrices (projections + FFN) on HCTs.
+        self.config = self.config if self.config is not None else EncoderConfig.tiny()
+        self._encoder = TransformerEncoder(self.config, seed=self.seed)
+        self._mapping = LlmMapping(
+            self.config,
+            self.hct_config if self.hct_config is not None else HctConfig.paper_default(),
+        )
+
+    @property
+    def hcts_allocated(self) -> int:
+        """HCTs reserved by LLM_buildEncoder()."""
+        return self._mapping.total_hcts
+
+    def change_activation(self, use_integer_kernels: bool) -> None:
+        """LLM_changeActivation(): toggle the I-BERT integer kernels."""
+        self._integer_kernels = bool(use_integer_kernels)
+
+    def run_inference(self, tokens: np.ndarray) -> np.ndarray:
+        """LLM_runInference(): run the encoder over a (seq, hidden) input."""
+        tokens = np.asarray(tokens)
+        expected = (self.config.sequence_length, self.config.hidden_size)
+        if tokens.shape != expected:
+            raise MappingError(f"expected input of shape {expected}, got {tokens.shape}")
+        return self._encoder.forward(tokens, integer_kernels=self._integer_kernels)

@@ -1,0 +1,210 @@
+"""Application-agnostic runtime library (Table 1, Section 4.4).
+
+:class:`DarthPumDevice` is the programmer-facing handle to a DARTH-PUM chip.
+Its application-agnostic calls mirror Table 1:
+
+==================  ====================================================
+``alloc_vacore``     allocate a vACore based on element size and precision
+``set_matrix``       allocate HCTs and store a matrix
+``exec_mvm``         execute an MVM between a stored matrix and a vector
+``update_row/col``   update part of a stored matrix
+``disable_analog_mode`` / ``disable_digital_mode``
+==================  ====================================================
+
+The calls hide vACore handling, HCT counts, and the analog/digital split
+entirely; programmers only pass matrices, vectors, an element size, and a
+precision scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analog.ace import MatrixHandle
+from ..core.chip import DarthPumChip
+from ..core.config import ChipConfig, HctConfig
+from ..errors import AllocationError, QuantizationError
+from ..metrics import CostLedger
+from ..reram import NoiseConfig
+from .allocator import MatrixPlacement, plan_matrix, precision_to_bits_per_cell
+
+__all__ = ["MatrixAllocation", "DarthPumDevice"]
+
+
+@dataclass
+class MatrixAllocation:
+    """A matrix stored across one or more HCTs, returned by ``set_matrix``."""
+
+    allocation_id: int
+    placement: MatrixPlacement
+    hct_indices: List[int]
+    handles: Dict[int, MatrixHandle] = field(default_factory=dict)
+    matrix: Optional[np.ndarray] = None
+
+    @property
+    def shape(self):
+        """Logical matrix shape."""
+        return self.placement.shape
+
+    @property
+    def hcts_used(self) -> int:
+        """Number of HCTs holding pieces of this matrix."""
+        return len(self.hct_indices)
+
+
+class DarthPumDevice:
+    """The programmer's handle to a DARTH-PUM chip."""
+
+    def __init__(
+        self,
+        chip: Optional[DarthPumChip] = None,
+        config: Optional[ChipConfig] = None,
+        noise: Optional[NoiseConfig] = None,
+    ) -> None:
+        if chip is not None:
+            self.chip = chip
+        else:
+            self.chip = DarthPumChip(config if config is not None else ChipConfig.iso_area_default(),
+                                     noise=noise)
+        self._allocations: Dict[int, MatrixAllocation] = {}
+        self._next_allocation = 0
+        self.ledger = CostLedger()
+
+    # ------------------------------------------------------------------ #
+    # Application-agnostic calls (Table 1)                                 #
+    # ------------------------------------------------------------------ #
+    def alloc_vacore(self, element_size: int, precision: int = 0, hct_index: int = 0):
+        """allocVACore(): allocate a vACore on an HCT and set up its µop table."""
+        bits = precision_to_bits_per_cell(precision, element_size)
+        return self.chip.hct(hct_index).alloc_vacore(element_size, bits)
+
+    def set_matrix(
+        self,
+        matrix: np.ndarray,
+        element_size: int = 8,
+        precision: int = 0,
+    ) -> MatrixAllocation:
+        """setMatrix(): allocate HCTs and program ``matrix`` into them."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise QuantizationError("set_matrix expects a 2-D matrix")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise QuantizationError(
+                "set_matrix expects an integer matrix; quantise floats first"
+            )
+        placement = plan_matrix(matrix.shape, element_size, precision, self.chip.config.hct)
+        hct_indices = self.chip.allocate_hcts(placement.hcts_needed, owner="set_matrix")
+        allocation = MatrixAllocation(
+            allocation_id=self._next_allocation,
+            placement=placement,
+            hct_indices=hct_indices,
+            matrix=matrix.astype(np.int64),
+        )
+        for tile in placement.tiles:
+            hct_index = hct_indices[tile.hct_slot % len(hct_indices)]
+            hct = self.chip.hct(hct_index)
+            block = matrix[tile.row_start: tile.row_end, tile.col_start: tile.col_end]
+            handle = hct.set_matrix(
+                block.astype(np.int64),
+                value_bits=element_size,
+                bits_per_cell=placement.bits_per_cell,
+            )
+            allocation.handles[tile.hct_slot] = handle
+        self._allocations[allocation.allocation_id] = allocation
+        self._next_allocation += 1
+        return allocation
+
+    def exec_mvm(self, allocation: MatrixAllocation, vector: np.ndarray,
+                 input_bits: int = 8) -> np.ndarray:
+        """execMVM(): multiply ``vector`` by the stored matrix."""
+        vector = np.asarray(vector, dtype=np.int64)
+        rows, cols = allocation.shape
+        if vector.shape != (rows,):
+            raise QuantizationError(
+                f"input vector of shape {vector.shape} does not match matrix rows ({rows})"
+            )
+        result = np.zeros(cols, dtype=np.int64)
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            sub_vector = vector[tile.row_start: tile.row_end]
+            sub_result = hct.execute_mvm(handle, sub_vector, input_bits=input_bits)
+            result[tile.col_start: tile.col_end] += sub_result.values
+            self.ledger.charge("runtime.mvm", cycles=sub_result.optimized_cycles,
+                               energy_pj=sub_result.energy_pj)
+        return result
+
+    def update_row(self, allocation: MatrixAllocation, row: int, values: np.ndarray) -> None:
+        """updateRow(): rewrite one matrix row across the affected HCTs."""
+        self._update(allocation, row=row, values=values)
+
+    def update_col(self, allocation: MatrixAllocation, col: int, values: np.ndarray) -> None:
+        """updateCol(): rewrite one matrix column across the affected HCTs."""
+        self._update(allocation, col=col, values=values)
+
+    def _update(self, allocation: MatrixAllocation, values: np.ndarray,
+                row: Optional[int] = None, col: Optional[int] = None) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        assert allocation.matrix is not None
+        if row is not None:
+            allocation.matrix[row, :] = values
+        if col is not None:
+            allocation.matrix[:, col] = values
+        for tile in allocation.placement.tiles:
+            affected = (
+                (row is not None and tile.row_start <= row < tile.row_end)
+                or (col is not None and tile.col_start <= col < tile.col_end)
+            )
+            if not affected:
+                continue
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            if row is not None:
+                new_handle = hct.ace.update_row(
+                    handle, row - tile.row_start, values[tile.col_start: tile.col_end]
+                )
+            else:
+                new_handle = hct.ace.update_col(
+                    handle, col - tile.col_start, values[tile.row_start: tile.row_end]
+                )
+            allocation.handles[tile.hct_slot] = new_handle
+
+    def release(self, allocation: MatrixAllocation) -> None:
+        """Free the HCTs and analog arrays used by an allocation."""
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            handle = allocation.handles.get(tile.hct_slot)
+            if handle is not None:
+                self.chip.hct(hct_index).release_matrix(handle)
+        self.chip.release_hcts(allocation.hct_indices)
+        self._allocations.pop(allocation.allocation_id, None)
+
+    def disable_analog_mode(self, allocation: MatrixAllocation) -> None:
+        """disableAnalogMode(): move the matrix into digital arrays."""
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            handle = allocation.handles.get(tile.hct_slot)
+            if handle is not None:
+                self.chip.hct(hct_index).disable_analog_mode(handle)
+
+    def disable_digital_mode(self, hct_index: int = 0) -> None:
+        """disableDigitalMode(): bypass DCE post-processing on one HCT."""
+        self.chip.hct(hct_index).disable_digital_mode()
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                        #
+    # ------------------------------------------------------------------ #
+    @property
+    def allocations(self) -> List[MatrixAllocation]:
+        """All live matrix allocations."""
+        return list(self._allocations.values())
+
+    def expected_mvm(self, allocation: MatrixAllocation, vector: np.ndarray) -> np.ndarray:
+        """Reference result computed from the stored matrix (verification)."""
+        assert allocation.matrix is not None
+        return np.asarray(vector, dtype=np.int64) @ allocation.matrix

@@ -1,0 +1,5 @@
+"""Workloads evaluated in the paper: AES, ResNet-20 (CNN), and an LLM encoder."""
+
+from .profile import MvmOp, WorkloadProfile
+
+__all__ = ["MvmOp", "WorkloadProfile"]

@@ -1,0 +1,44 @@
+"""GF(2^8) arithmetic used by AES (Section 5.3).
+
+AES's MixColumns step is a matrix multiply over the Galois field GF(2^8)
+with the reduction polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11B).  The
+helpers here implement field multiplication both directly and via the
+xtime (multiply-by-2) recurrence, which is the form the DARTH-PUM mapping
+exploits: MixColumns only ever multiplies by 1, 2, or 3, so it can be
+expressed with a binary matrix MVM followed by XORs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xtime", "gf_mul", "gf_mul_table", "AES_MODULUS"]
+
+#: The AES irreducible polynomial x^8 + x^4 + x^3 + x + 1.
+AES_MODULUS = 0x11B
+
+
+def xtime(value: int) -> int:
+    """Multiply ``value`` by 2 in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= AES_MODULUS
+    return value & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) (Russian-peasant method)."""
+    a &= 0xFF
+    b &= 0xFF
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result & 0xFF
+
+
+def gf_mul_table(constant: int) -> np.ndarray:
+    """A 256-entry lookup table for multiplication by ``constant``."""
+    return np.array([gf_mul(value, constant) for value in range(256)], dtype=np.uint8)

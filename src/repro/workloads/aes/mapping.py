@@ -1,0 +1,280 @@
+"""Mapping AES onto DARTH-PUM (Section 5.3, Figure 12).
+
+The four AES round steps map onto the hybrid compute tile as follows:
+
+* **SubBytes** -- the S-box is pre-loaded into an otherwise unused digital
+  pipeline of the HCT and accessed with the element-wise load instruction
+  (Section 4.2), one byte per two cycles.
+* **ShiftRows** -- a byte permutation of the state, realised with pipelined
+  shifts; shifting against the propagation direction uses the
+  pipeline-reversal macro.  The functional model performs the permutation
+  with element-wise loads (same DCE capability), while the latency model
+  charges the reversal-and-shift macro cost the paper describes.
+* **MixColumns** -- a matrix multiply over GF(2^8).  Because multiplication
+  by the fixed coefficients 1/2/3 is linear over GF(2), one state column's
+  32 output bits are a binary 32x32 matrix-vector product of its 32 input
+  bits; the matrix is pre-stored in the ACE with 1-bit cells (remapped by
+  the parasitic-compensation scheme) and only the least-significant bit of
+  each ADC output is needed -- the "subsequent XOR" is a parity extraction.
+* **AddRoundKey** -- a bulk XOR in the DCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...analog.compensation import ParasiticCompensation
+from ...core.config import HctConfig
+from ...core.hct import HybridComputeTile
+from ...errors import MappingError
+from .gf import gf_mul
+from .reference import SBOX, MIX_COLUMNS_MATRIX, key_expansion, num_rounds
+
+__all__ = ["mixcolumns_bit_matrix", "AesKernelCycles", "DarthPumAes"]
+
+
+def mixcolumns_bit_matrix(coefficients: Optional[np.ndarray] = None) -> np.ndarray:
+    """The 32x32 GF(2) matrix implementing MixColumns on one state column.
+
+    ``output_bits = B @ input_bits (mod 2)`` where input/output bits are the
+    bits of the four column bytes, least-significant bit first:
+    index ``8 * byte_row + bit``.  Entry ``B[i, j]`` is bit ``i%8`` of
+    ``gf_mul(M[i//8, j//8], 1 << (j%8))``.
+    """
+    matrix = MIX_COLUMNS_MATRIX if coefficients is None else np.asarray(coefficients)
+    bit_matrix = np.zeros((32, 32), dtype=np.int64)
+    for out_byte in range(4):
+        for in_byte in range(4):
+            coefficient = int(matrix[out_byte, in_byte])
+            for in_bit in range(8):
+                product = gf_mul(coefficient, 1 << in_bit)
+                for out_bit in range(8):
+                    if (product >> out_bit) & 1:
+                        bit_matrix[8 * out_byte + out_bit, 8 * in_byte + in_bit] = 1
+    return bit_matrix
+
+
+@dataclass
+class AesKernelCycles:
+    """Per-kernel cycle accounting for one encryption (Figure 14)."""
+
+    data_movement: float = 0.0
+    sub_bytes: float = 0.0
+    shift_rows: float = 0.0
+    mix_columns: float = 0.0
+    add_round_key: float = 0.0
+
+    def total(self) -> float:
+        """Total cycles across all kernels."""
+        return (self.data_movement + self.sub_bytes + self.shift_rows
+                + self.mix_columns + self.add_round_key)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as an ordered dictionary (used by the figure harness)."""
+        return {
+            "DataMovement": self.data_movement,
+            "SubBytes": self.sub_bytes,
+            "ShiftRows": self.shift_rows,
+            "MixColumns": self.mix_columns,
+            "AddRoundKey": self.add_round_key,
+        }
+
+
+#: Byte-index permutation applied by ShiftRows on the flattened (block-order)
+#: state: ``new[4*c + r] = old[4*((c + r) % 4) + r]``.
+_SHIFT_ROWS_PERMUTATION = np.array(
+    [4 * ((col + row) % 4) + row for col in range(4) for row in range(4)], dtype=np.int64
+)
+
+
+class DarthPumAes:
+    """AES encryption running on a hybrid compute tile.
+
+    The class owns the HCT resources the paper's ``AES_initArrays()`` call
+    reserves: an S-box pipeline, a state/scratch pipeline, and the
+    MixColumns bit matrix in the ACE.  ``encrypt`` performs a functional
+    encryption (bit-exact against the reference implementation) while
+    accumulating the per-kernel latency breakdown.
+    """
+
+    #: The MixColumns MVM reserves pipelines 0..1 for its column tiles, so
+    #: the state, S-box, and scratch pipelines start above them.
+    STATE_PIPELINE = 4
+    SBOX_PIPELINE = 5
+    SCRATCH_PIPELINE = 6
+
+    def __init__(self, tile: Optional[HybridComputeTile] = None,
+                 key: Optional[Sequence[int]] = None) -> None:
+        self.tile = tile if tile is not None else HybridComputeTile(HctConfig.small())
+        if self.tile.config.dce.num_pipelines < 7:
+            raise MappingError("AES needs at least 7 digital pipelines in the HCT")
+        if self.tile.config.dce.pipeline_depth < 8:
+            raise MappingError("AES needs at least 8-bit digital pipelines")
+        self.compensation = ParasiticCompensation()
+        self._key: Optional[np.ndarray] = None
+        self._round_keys: List[np.ndarray] = []
+        self._sbox_vrs = 0
+        self.kernel_cycles = AesKernelCycles()
+        self.init_arrays(key)
+
+    # ------------------------------------------------------------------ #
+    # AES_initArrays()                                                     #
+    # ------------------------------------------------------------------ #
+    def init_arrays(self, key: Optional[Sequence[int]] = None) -> None:
+        """Reserve HCT resources: S-box in the DCE, MixColumns matrix in the ACE."""
+        tile = self.tile
+        # Pre-load the S-box across vector registers of the S-box pipeline.
+        sbox_pipeline = tile.pipeline(self.SBOX_PIPELINE)
+        rows = sbox_pipeline.rows
+        self._sbox_vrs = -(-256 // rows)
+        if self._sbox_vrs > sbox_pipeline.num_vrs:
+            raise MappingError("the S-box does not fit in one digital pipeline")
+        for vr in range(self._sbox_vrs):
+            chunk = SBOX[vr * rows: (vr + 1) * rows].astype(np.int64)
+            sbox_pipeline.write_vr(vr, chunk)
+        # Store the remapped MixColumns bit matrix in 1-bit analog cells.
+        # The ACE computes ``x @ M``, so the matrix is stored transposed to
+        # realise ``B @ x`` for the column bit vector ``x``.
+        bit_matrix = mixcolumns_bit_matrix().T.copy()
+        remapped = self.compensation.remap(bit_matrix)
+        self.mix_handle = tile.set_matrix(
+            remapped, value_bits=1, bits_per_cell=1, output_pipeline=0
+        )
+        if key is not None:
+            self.set_key(key)
+
+    def set_key(self, key: Sequence[int]) -> None:
+        """Expand and cache the round keys (host-side key schedule)."""
+        self._key = np.asarray(list(key), dtype=np.uint8)
+        self._round_keys = key_expansion(self._key)
+
+    # ------------------------------------------------------------------ #
+    # Round steps                                                          #
+    # ------------------------------------------------------------------ #
+    def _load_state(self, block: np.ndarray) -> np.ndarray:
+        """Write the 16 plaintext bytes into the state pipeline (row-major state)."""
+        state = np.asarray(block, dtype=np.int64)
+        pipeline = self.tile.pipeline(self.STATE_PIPELINE)
+        pipeline.write_vr(0, state)
+        self.kernel_cycles.data_movement += float(pipeline.rows)
+        return state
+
+    def _sub_bytes(self, state: np.ndarray) -> np.ndarray:
+        """SubBytes with the element-wise load instruction against the S-box."""
+        pipeline = self.tile.pipeline(self.STATE_PIPELINE)
+        pipeline.write_vr(1, state)  # address register
+        cost = self.tile.dce.element_load(
+            dst_pipeline=self.STATE_PIPELINE,
+            dst_vr=0,
+            addr_pipeline=self.STATE_PIPELINE,
+            addr_vr=1,
+            table_pipeline=self.SBOX_PIPELINE,
+            table_base_vr=0,
+            num_elements=16,
+        )
+        self.kernel_cycles.sub_bytes += cost.unpipelined_cycles
+        return self.tile.pipeline(self.STATE_PIPELINE).read_vr(0)[:16]
+
+    def _shift_rows(self, state: np.ndarray) -> np.ndarray:
+        """ShiftRows as a byte permutation via element-wise loads.
+
+        The latency charged follows the paper's pipelined-shift realisation:
+        a pipeline-reversal macro (drain of ``depth`` cycles) plus one shift
+        per byte position moved.
+        """
+        pipeline = self.tile.pipeline(self.STATE_PIPELINE)
+        scratch = self.tile.pipeline(self.SCRATCH_PIPELINE)
+        scratch.write_vr(0, state)                       # state as lookup table
+        pipeline.write_vr(1, _SHIFT_ROWS_PERMUTATION)    # gather addresses
+        self.tile.dce.element_load(
+            dst_pipeline=self.STATE_PIPELINE,
+            dst_vr=0,
+            addr_pipeline=self.STATE_PIPELINE,
+            addr_vr=1,
+            table_pipeline=self.SCRATCH_PIPELINE,
+            table_base_vr=0,
+            num_elements=16,
+        )
+        depth = pipeline.depth
+        shifts = 1 + 2 + 3  # rows 1-3 rotate by 1, 2, 3 byte positions
+        self.kernel_cycles.shift_rows += float(depth + 8 * shifts)
+        return pipeline.read_vr(0)[:16]
+
+    def _mix_columns(self, state: np.ndarray) -> np.ndarray:
+        """MixColumns through the ACE: one 32-bit binary MVM per state column."""
+        output = np.zeros(16, dtype=np.int64)
+        for col in range(4):
+            # Block order: AES state column c is bytes p[4c..4c+3].
+            column_bytes = state[4 * col: 4 * col + 4]
+            input_bits = np.zeros(32, dtype=np.int64)
+            for byte_index in range(4):
+                for bit in range(8):
+                    input_bits[8 * byte_index + bit] = (int(column_bytes[byte_index]) >> bit) & 1
+            result = self.tile.execute_mvm(
+                self.mix_handle,
+                input_bits,
+                input_bits=1,
+                compensation=self.compensation,
+                active_adc_bits=2,
+            )
+            counts = result.values
+            self.kernel_cycles.mix_columns += result.optimized_cycles
+            parity = counts & 1  # the "subsequent XOR": only the LSB matters
+            for byte_index in range(4):
+                value = 0
+                for bit in range(8):
+                    value |= int(parity[8 * byte_index + bit]) << bit
+                output[4 * col + byte_index] = value
+        # Parity extraction (AND with 1) in the DCE.
+        pipeline = self.tile.pipeline(self.STATE_PIPELINE)
+        pipeline.write_vr(0, output)
+        self.kernel_cycles.mix_columns += 3.0  # one AND word-op (OSCAR: 3 µops)
+        return output
+
+    def _add_round_key(self, state: np.ndarray, round_key_bytes: np.ndarray) -> np.ndarray:
+        """AddRoundKey: XOR in the DCE."""
+        pipeline = self.tile.pipeline(self.STATE_PIPELINE)
+        pipeline.write_vr(0, state)
+        pipeline.write_vr(1, round_key_bytes.astype(np.int64))
+        cost = pipeline.xor(0, 0, 1)
+        self.kernel_cycles.add_round_key += cost.unpipelined_cycles
+        self.kernel_cycles.data_movement += float(pipeline.rows)
+        return pipeline.read_vr(0)[:16]
+
+    # ------------------------------------------------------------------ #
+    # AES_encrypt()                                                        #
+    # ------------------------------------------------------------------ #
+    def encrypt(self, plaintext: Sequence[int], key: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Encrypt one 16-byte block on the hybrid compute tile."""
+        if key is not None:
+            self.set_key(key)
+        if self._key is None:
+            raise MappingError("no key has been set; pass one to encrypt() or set_key()")
+        plaintext = np.asarray(list(plaintext), dtype=np.int64)
+        if plaintext.shape != (16,):
+            raise MappingError("an AES block is exactly 16 bytes")
+        rounds = num_rounds(self._key.shape[0])
+        # Round keys as column-major byte sequences matching the state layout.
+        round_key_bytes = [
+            np.asarray(rk, dtype=np.uint8).T.reshape(16) for rk in self._round_keys
+        ]
+
+        state = self._load_state(plaintext)
+        state = self._add_round_key(state, round_key_bytes[0])
+        for round_index in range(1, rounds):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, round_key_bytes[round_index])
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, round_key_bytes[rounds])
+        self.kernel_cycles.data_movement += float(self.tile.pipeline(self.STATE_PIPELINE).rows)
+        return state.astype(np.uint8)
+
+    def encrypt_bytes(self, plaintext: bytes, key: bytes) -> bytes:
+        """Convenience wrapper encrypting a single 16-byte ``bytes`` block."""
+        return bytes(self.encrypt(list(plaintext), list(key)))

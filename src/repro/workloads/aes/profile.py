@@ -1,0 +1,39 @@
+"""Workload profile of AES-128 encryption (per 16-byte block)."""
+
+from __future__ import annotations
+
+from ..profile import MvmOp, WorkloadProfile
+
+__all__ = ["aes_profile"]
+
+
+def aes_profile(key_bits: int = 128) -> WorkloadProfile:
+    """Operation counts for encrypting one block with AES-``key_bits``.
+
+    Structure per round (Section 5.3): SubBytes is 16 table lookups,
+    ShiftRows moves 12 bytes, MixColumns is four 32x32 binary MVMs plus a
+    parity extraction, and AddRoundKey is a 16-byte XOR.  The final round
+    omits MixColumns; an extra AddRoundKey precedes round 1.
+    """
+    rounds = {128: 10, 192: 12, 256: 14}[key_bits]
+    mix_rounds = rounds - 1
+    mvm_ops = [MvmOp(rows=32, cols=32, count=4.0 * mix_rounds, label="MixColumns")]
+    lookups = 16.0 * rounds                      # SubBytes
+    elementwise = (
+        16.0 * (rounds + 1)                      # AddRoundKey XOR bytes
+        + 12.0 * rounds                          # ShiftRows byte moves
+        + 16.0 * mix_rounds                      # parity extraction after MixColumns
+    )
+    return WorkloadProfile(
+        name=f"aes{key_bits}",
+        item_name="block",
+        mvm_ops=mvm_ops,
+        elementwise_ops=elementwise,
+        elementwise_width=8,
+        lookup_ops=lookups,
+        nonlinear_ops=0.0,
+        weight_bytes=4 * 32 * 32 / 8 + 256,      # MixColumns bit matrix + S-box
+        host_bytes_per_item=2.0 * 16 * rounds,   # state to/from the CPU per round
+        batch_parallelism=float("inf"),
+        kernel_mvms={"MixColumns": (32, 32, 4.0 * mix_rounds)},
+    )

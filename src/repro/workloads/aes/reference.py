@@ -1,0 +1,214 @@
+"""A complete software reference implementation of AES (FIPS-197).
+
+Supports AES-128/192/256 encryption and decryption of 16-byte blocks, plus
+the individual round steps (SubBytes, ShiftRows, MixColumns, AddRoundKey)
+exposed separately so the DARTH-PUM mapping can be verified step by step.
+The S-box is derived from first principles (multiplicative inverse in
+GF(2^8) followed by the affine transform) rather than hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .gf import gf_mul
+
+__all__ = [
+    "SBOX",
+    "INV_SBOX",
+    "MIX_COLUMNS_MATRIX",
+    "INV_MIX_COLUMNS_MATRIX",
+    "key_expansion",
+    "sub_bytes",
+    "shift_rows",
+    "mix_columns",
+    "add_round_key",
+    "inv_sub_bytes",
+    "inv_shift_rows",
+    "inv_mix_columns",
+    "encrypt_block",
+    "decrypt_block",
+    "num_rounds",
+    "bytes_to_state",
+    "state_to_bytes",
+]
+
+
+def _build_sbox() -> np.ndarray:
+    """Construct the AES S-box from the GF(2^8) inverse and affine map."""
+    # Multiplicative inverses (0 maps to 0 by convention).
+    inverse = np.zeros(256, dtype=np.uint8)
+    for value in range(1, 256):
+        for candidate in range(1, 256):
+            if gf_mul(value, candidate) == 1:
+                inverse[value] = candidate
+                break
+    sbox = np.zeros(256, dtype=np.uint8)
+    for value in range(256):
+        b = int(inverse[value])
+        result = 0
+        for bit in range(8):
+            result |= (
+                ((b >> bit) ^ (b >> ((bit + 4) % 8)) ^ (b >> ((bit + 5) % 8))
+                 ^ (b >> ((bit + 6) % 8)) ^ (b >> ((bit + 7) % 8)) ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox[value] = result
+    return sbox
+
+
+SBOX: np.ndarray = _build_sbox()
+INV_SBOX: np.ndarray = np.zeros(256, dtype=np.uint8)
+INV_SBOX[SBOX] = np.arange(256, dtype=np.uint8)
+
+#: The MixColumns coefficient matrix (row-major, FIPS-197 Section 5.1.3).
+MIX_COLUMNS_MATRIX = np.array(
+    [[2, 3, 1, 1],
+     [1, 2, 3, 1],
+     [1, 1, 2, 3],
+     [3, 1, 1, 2]], dtype=np.uint8)
+
+#: The InvMixColumns coefficient matrix.
+INV_MIX_COLUMNS_MATRIX = np.array(
+    [[14, 11, 13, 9],
+     [9, 14, 11, 13],
+     [13, 9, 14, 11],
+     [11, 13, 9, 14]], dtype=np.uint8)
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+def num_rounds(key_bytes: int) -> int:
+    """Number of AES rounds for a key of ``key_bytes`` bytes (16/24/32)."""
+    rounds = {16: 10, 24: 12, 32: 14}
+    if key_bytes not in rounds:
+        raise ValueError("AES keys must be 16, 24, or 32 bytes")
+    return rounds[key_bytes]
+
+
+def key_expansion(key: Sequence[int]) -> List[np.ndarray]:
+    """Expand a key into the per-round 4x4 round-key states."""
+    key = np.asarray(list(key), dtype=np.uint8)
+    nk = key.shape[0] // 4
+    rounds = num_rounds(key.shape[0])
+    words = [key[4 * i: 4 * i + 4].copy() for i in range(nk)]
+    total_words = 4 * (rounds + 1)
+    for i in range(nk, total_words):
+        temp = words[i - 1].copy()
+        if i % nk == 0:
+            temp = np.roll(temp, -1)
+            temp = SBOX[temp]
+            temp[0] ^= _RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            temp = SBOX[temp]
+        words.append(words[i - nk] ^ temp)
+    round_keys = []
+    for round_index in range(rounds + 1):
+        block = np.concatenate(words[4 * round_index: 4 * round_index + 4])
+        round_keys.append(bytes_to_state(block))
+    return round_keys
+
+
+def bytes_to_state(block: Sequence[int]) -> np.ndarray:
+    """Arrange 16 bytes into the AES 4x4 column-major state."""
+    block = np.asarray(list(block), dtype=np.uint8)
+    if block.shape != (16,):
+        raise ValueError("an AES block is exactly 16 bytes")
+    return block.reshape(4, 4).T.copy()
+
+
+def state_to_bytes(state: np.ndarray) -> np.ndarray:
+    """Flatten a 4x4 state back into 16 bytes (column-major)."""
+    return np.asarray(state, dtype=np.uint8).T.reshape(16).copy()
+
+
+def sub_bytes(state: np.ndarray) -> np.ndarray:
+    """SubBytes: substitute every byte through the S-box."""
+    return SBOX[np.asarray(state, dtype=np.uint8)]
+
+
+def inv_sub_bytes(state: np.ndarray) -> np.ndarray:
+    """Inverse SubBytes."""
+    return INV_SBOX[np.asarray(state, dtype=np.uint8)]
+
+
+def shift_rows(state: np.ndarray) -> np.ndarray:
+    """ShiftRows: cyclically left-shift row ``r`` by ``r`` bytes."""
+    state = np.asarray(state, dtype=np.uint8).copy()
+    for row in range(1, 4):
+        state[row] = np.roll(state[row], -row)
+    return state
+
+
+def inv_shift_rows(state: np.ndarray) -> np.ndarray:
+    """Inverse ShiftRows."""
+    state = np.asarray(state, dtype=np.uint8).copy()
+    for row in range(1, 4):
+        state[row] = np.roll(state[row], row)
+    return state
+
+
+def _mix_single_column(column: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    result = np.zeros(4, dtype=np.uint8)
+    for out_row in range(4):
+        acc = 0
+        for in_row in range(4):
+            acc ^= gf_mul(int(matrix[out_row, in_row]), int(column[in_row]))
+        result[out_row] = acc
+    return result
+
+
+def mix_columns(state: np.ndarray) -> np.ndarray:
+    """MixColumns: multiply each state column by the MDS matrix over GF(2^8)."""
+    state = np.asarray(state, dtype=np.uint8)
+    output = np.zeros_like(state)
+    for col in range(4):
+        output[:, col] = _mix_single_column(state[:, col], MIX_COLUMNS_MATRIX)
+    return output
+
+
+def inv_mix_columns(state: np.ndarray) -> np.ndarray:
+    """Inverse MixColumns."""
+    state = np.asarray(state, dtype=np.uint8)
+    output = np.zeros_like(state)
+    for col in range(4):
+        output[:, col] = _mix_single_column(state[:, col], INV_MIX_COLUMNS_MATRIX)
+    return output
+
+
+def add_round_key(state: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+    """AddRoundKey: XOR the state with the round key."""
+    return np.asarray(state, dtype=np.uint8) ^ np.asarray(round_key, dtype=np.uint8)
+
+
+def encrypt_block(plaintext: Sequence[int], key: Sequence[int]) -> np.ndarray:
+    """Encrypt a 16-byte block with AES-128/192/256."""
+    round_keys = key_expansion(key)
+    rounds = len(round_keys) - 1
+    state = add_round_key(bytes_to_state(plaintext), round_keys[0])
+    for round_index in range(1, rounds):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[round_index])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[rounds])
+    return state_to_bytes(state)
+
+
+def decrypt_block(ciphertext: Sequence[int], key: Sequence[int]) -> np.ndarray:
+    """Decrypt a 16-byte block with AES-128/192/256."""
+    round_keys = key_expansion(key)
+    rounds = len(round_keys) - 1
+    state = add_round_key(bytes_to_state(ciphertext), round_keys[rounds])
+    for round_index in range(rounds - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, round_keys[round_index])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, round_keys[0])
+    return state_to_bytes(state)

@@ -1,0 +1,59 @@
+"""CNN workload: numpy NN framework, ResNet-20, quantisation, DARTH-PUM mapping."""
+
+from .dataset import SyntheticCifar10, make_class_prototypes
+from .layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .mapping import (
+    CnnMapping,
+    LayerPlacement,
+    NoisyInferenceEngine,
+    resnet20_profile,
+    run_conv_on_tile,
+)
+from .quantize import QuantizedTensor, dequantize, quantize, quantize_per_output
+from .resnet import CIFAR10_INPUT_SHAPE, BasicBlock, ResNet20, resnet20
+from .tensors import avg_pool2d, conv2d, global_avg_pool, im2col, max_pool2d, pad_nchw
+
+__all__ = [
+    "Add",
+    "AvgPool2d",
+    "BasicBlock",
+    "BatchNorm2d",
+    "CIFAR10_INPUT_SHAPE",
+    "CnnMapping",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "LayerPlacement",
+    "Linear",
+    "MaxPool2d",
+    "NoisyInferenceEngine",
+    "QuantizedTensor",
+    "ReLU",
+    "ResNet20",
+    "SyntheticCifar10",
+    "avg_pool2d",
+    "conv2d",
+    "dequantize",
+    "global_avg_pool",
+    "im2col",
+    "make_class_prototypes",
+    "max_pool2d",
+    "pad_nchw",
+    "quantize",
+    "quantize_per_output",
+    "resnet20",
+    "resnet20_profile",
+    "run_conv_on_tile",
+]

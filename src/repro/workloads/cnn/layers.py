@@ -1,0 +1,246 @@
+"""Layer abstractions for the CNN workload.
+
+Each layer implements ``forward`` (numpy, NCHW) and reports whether it can
+be accelerated by analog MVM (convolution and fully connected layers) or
+must run as digital PUM vector work (bias, batch norm, activations, pooling,
+residual adds) -- the split Section 5.1 describes.  ``mvm_shape`` exposes
+the Toeplitz-expanded MVM dimensions used by both the HCT mapping and the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensors import avg_pool2d, conv2d, global_avg_pool, max_pool2d
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "Add",
+]
+
+
+@dataclass
+class Layer:
+    """Base class: a named, optionally MVM-accelerable operation."""
+
+    name: str = "layer"
+
+    #: Whether the layer's bulk compute maps onto analog MVM.
+    is_mvm = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output."""
+        raise NotImplementedError
+
+    def parameter_count(self) -> int:
+        """Number of trainable parameters."""
+        return 0
+
+    def mvm_shape(self, input_shape: Tuple[int, ...]) -> Optional[Tuple[int, int]]:
+        """(rows, cols) of the layer's Toeplitz MVM for one input, if any."""
+        return None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output for an input of ``input_shape`` (without batch)."""
+        raise NotImplementedError
+
+
+class Conv2d(Layer):
+    """2-D convolution layer."""
+
+    is_mvm = True
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, padding: int = 1, name: str = "conv",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(name=name)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in),
+                                 size=(out_channels, in_channels, kernel, kernel))
+        self.bias = np.zeros(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def parameter_count(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def output_shape(self, input_shape):
+        _, h, w = input_shape
+        out_h = (h + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.kernel) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def mvm_shape(self, input_shape):
+        _, out_h, out_w = self.output_shape(input_shape)
+        rows = self.in_channels * self.kernel * self.kernel
+        cols = self.out_channels
+        # One MVM per output position; the mapping batches them as vectors.
+        return (rows, cols)
+
+    def mvm_count(self, input_shape) -> int:
+        """Number of per-position MVMs for one input image."""
+        _, out_h, out_w = self.output_shape(input_shape)
+        return out_h * out_w
+
+
+class Linear(Layer):
+    """Fully connected layer."""
+
+    is_mvm = True
+
+    def __init__(self, in_features: int, out_features: int, name: str = "fc",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(name=name)
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x) @ self.weight + self.bias
+
+    def parameter_count(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+    def mvm_shape(self, input_shape):
+        return (self.in_features, self.out_features)
+
+    def mvm_count(self, input_shape) -> int:
+        """One MVM per input vector."""
+        return 1
+
+
+class BatchNorm2d(Layer):
+    """Batch normalisation with fixed (inference) statistics."""
+
+    def __init__(self, channels: int, name: str = "bn") -> None:
+        super().__init__(name=name)
+        self.channels = channels
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.eps = 1e-5
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        scale = self.gamma / np.sqrt(self.running_var + self.eps)
+        shift = self.beta - self.running_mean * scale
+        return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+    def parameter_count(self) -> int:
+        return 2 * self.channels
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+class ReLU(Layer):
+    """Rectified linear activation (digital PUM territory)."""
+
+    def __init__(self, name: str = "relu") -> None:
+        super().__init__(name=name)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0)
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+class MaxPool2d(Layer):
+    """Max pooling."""
+
+    def __init__(self, kernel: int = 2, stride: Optional[int] = None, name: str = "maxpool") -> None:
+        super().__init__(name=name)
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return max_pool2d(x, self.kernel, self.stride)
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (c, (h - self.kernel) // self.stride + 1, (w - self.kernel) // self.stride + 1)
+
+
+class AvgPool2d(Layer):
+    """Average pooling."""
+
+    def __init__(self, kernel: int = 2, stride: Optional[int] = None, name: str = "avgpool") -> None:
+        super().__init__(name=name)
+        self.kernel = kernel
+        self.stride = kernel if stride is None else stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return avg_pool2d(x, self.kernel, self.stride)
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (c, (h - self.kernel) // self.stride + 1, (w - self.kernel) // self.stride + 1)
+
+
+class GlobalAvgPool(Layer):
+    """Global average pooling to a (C,) vector."""
+
+    def __init__(self, name: str = "gap") -> None:
+        super().__init__(name=name)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return global_avg_pool(x)
+
+    def output_shape(self, input_shape):
+        return (input_shape[0],)
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        super().__init__(name=name)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x).reshape(x.shape[0], -1)
+
+    def output_shape(self, input_shape):
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        return (total,)
+
+
+class Add(Layer):
+    """Residual addition of two tensors (digital PUM vector add)."""
+
+    def __init__(self, name: str = "add") -> None:
+        super().__init__(name=name)
+
+    def forward(self, x: np.ndarray, shortcut: np.ndarray | None = None) -> np.ndarray:
+        if shortcut is None:
+            return x
+        return x + shortcut
+
+    def output_shape(self, input_shape):
+        return input_shape

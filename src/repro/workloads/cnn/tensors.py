@@ -1,0 +1,89 @@
+"""Minimal tensor operations for the CNN workload (NCHW layout).
+
+Convolution is implemented through an im2col (Toeplitz) expansion, which is
+exactly the transformation DARTH-PUM uses to map convolution layers onto
+analog MVMs (Section 5.1): each output position becomes one row of a matrix
+whose columns are the flattened receptive fields, so a convolution is a
+single (input-patches x filter-matrix) multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["im2col", "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool", "pad_nchw"]
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> Tuple[np.ndarray, int, int]:
+    """Toeplitz expansion of an NCHW tensor.
+
+    Returns ``(patches, out_h, out_w)`` where ``patches`` has shape
+    ``(N * out_h * out_w, C * kernel * kernel)``: one row per output
+    position, one column per weight of the receptive field.
+    """
+    x = pad_nchw(np.asarray(x), padding)
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    patches = np.zeros((n, out_h, out_w, c, kernel, kernel), dtype=x.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            patches[:, i, j] = x[:, :, i * stride: i * stride + kernel, j * stride: j * stride + kernel]
+    return patches.reshape(n * out_h * out_w, c * kernel * kernel), out_h, out_w
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           stride: int = 1, padding: int = 0) -> np.ndarray:
+    """2-D convolution via im2col.  ``weight`` has shape (O, C, K, K)."""
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    n = x.shape[0]
+    out_channels, in_channels, kernel, _ = weight.shape
+    patches, out_h, out_w = im2col(x, kernel, stride, padding)
+    weight_matrix = weight.reshape(out_channels, in_channels * kernel * kernel).T
+    result = patches @ weight_matrix
+    if bias is not None:
+        result = result + bias
+    return result.reshape(n, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    result = np.full((n, c, out_h, out_w), -np.inf, dtype=float)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, :, i * stride: i * stride + kernel, j * stride: j * stride + kernel]
+            result[:, :, i, j] = window.reshape(n, c, -1).max(axis=2)
+    return result.astype(x.dtype) if np.issubdtype(x.dtype, np.floating) else result
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling over windows."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    result = np.zeros((n, c, out_h, out_w), dtype=float)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, :, i * stride: i * stride + kernel, j * stride: j * stride + kernel]
+            result[:, :, i, j] = window.reshape(n, c, -1).mean(axis=2)
+    return result
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+    return np.asarray(x, dtype=float).mean(axis=(2, 3))

@@ -1,0 +1,28 @@
+"""LLM encoder workload: transformer encoder, I-BERT kernels, DARTH-PUM mapping."""
+
+from .encoder import (
+    EncoderConfig,
+    EncoderLayer,
+    FeedForward,
+    MultiHeadAttention,
+    TransformerEncoder,
+)
+from .ibert import i_exp, i_gelu, i_layernorm, i_softmax, integer_sqrt, quantize_activation
+from .mapping import LlmMapping, encoder_profile, run_projection_on_tile
+
+__all__ = [
+    "EncoderConfig",
+    "EncoderLayer",
+    "FeedForward",
+    "LlmMapping",
+    "MultiHeadAttention",
+    "TransformerEncoder",
+    "encoder_profile",
+    "i_exp",
+    "i_gelu",
+    "i_layernorm",
+    "i_softmax",
+    "integer_sqrt",
+    "quantize_activation",
+    "run_projection_on_tile",
+]

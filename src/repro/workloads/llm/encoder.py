@@ -1,0 +1,173 @@
+"""A from-scratch transformer encoder (the LLMEnc workload, Section 5.2).
+
+The encoder follows the standard architecture (Vaswani et al.): multi-head
+self-attention, residual connections with layer normalisation, and a
+position-wise feed-forward network (FFN).  The default configuration matches
+BERT-base-like dimensions (hidden 768, 12 heads, FFN 3072, 12 layers), which
+is the shape the performance model uses; the functional tests exercise a
+reduced configuration.
+
+The split that matters for DARTH-PUM (Section 5.2): the FFN and the Q/K/V/
+output projections are static matrices suited to the ACE, while the
+attention score and context products (``Q K^T`` and ``scores V``) involve
+*dynamically produced* matrices, so they run in the DCE; softmax, GELU, and
+layer norm use the I-BERT integer kernels in the DCE as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .ibert import i_gelu, i_layernorm, i_softmax, quantize_activation
+
+__all__ = ["EncoderConfig", "MultiHeadAttention", "FeedForward", "EncoderLayer", "TransformerEncoder"]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Dimensions of the encoder stack."""
+
+    hidden_size: int = 768
+    num_heads: int = 12
+    ffn_size: int = 3072
+    num_layers: int = 12
+    sequence_length: int = 128
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality."""
+        return self.hidden_size // self.num_heads
+
+    @classmethod
+    def bert_base(cls, sequence_length: int = 128) -> "EncoderConfig":
+        """The BERT-base-like configuration used by the performance model."""
+        return cls(hidden_size=768, num_heads=12, ffn_size=3072, num_layers=12,
+                   sequence_length=sequence_length)
+
+    @classmethod
+    def tiny(cls, sequence_length: int = 16) -> "EncoderConfig":
+        """A reduced configuration for functional tests and examples."""
+        return cls(hidden_size=32, num_heads=4, ffn_size=64, num_layers=2,
+                   sequence_length=sequence_length)
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadAttention:
+    """Standard multi-head self-attention."""
+
+    def __init__(self, config: EncoderConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        h = config.hidden_size
+        scale = 1.0 / np.sqrt(h)
+        self.w_q = rng.normal(0, scale, size=(h, h))
+        self.w_k = rng.normal(0, scale, size=(h, h))
+        self.w_v = rng.normal(0, scale, size=(h, h))
+        self.w_o = rng.normal(0, scale, size=(h, h))
+
+    def forward(self, x: np.ndarray, integer_softmax: bool = False) -> np.ndarray:
+        """Self-attention over a (seq, hidden) input."""
+        config = self.config
+        seq = x.shape[0]
+        q = x @ self.w_q
+        k = x @ self.w_k
+        v = x @ self.w_v
+        heads = []
+        for head in range(config.num_heads):
+            s = slice(head * config.head_dim, (head + 1) * config.head_dim)
+            scores = (q[:, s] @ k[:, s].T) / np.sqrt(config.head_dim)
+            if integer_softmax:
+                q_scores, scale = quantize_activation(scores, bits=16)
+                probs_q, probs_scale = i_softmax(q_scores, scale, axis=-1)
+                probs = probs_q.astype(float) * probs_scale
+                probs = probs / np.maximum(probs.sum(axis=-1, keepdims=True), 1e-9)
+            else:
+                probs = _softmax(scores, axis=-1)
+            heads.append(probs @ v[:, s])
+        context = np.concatenate(heads, axis=1)
+        return context @ self.w_o
+
+
+class FeedForward:
+    """Position-wise feed-forward network with GELU."""
+
+    def __init__(self, config: EncoderConfig, rng: np.random.Generator) -> None:
+        h, f = config.hidden_size, config.ffn_size
+        self.w1 = rng.normal(0, 1.0 / np.sqrt(h), size=(h, f))
+        self.b1 = np.zeros(f)
+        self.w2 = rng.normal(0, 1.0 / np.sqrt(f), size=(f, h))
+        self.b2 = np.zeros(h)
+
+    def forward(self, x: np.ndarray, integer_gelu: bool = False) -> np.ndarray:
+        hidden = x @ self.w1 + self.b1
+        if integer_gelu:
+            q, scale = quantize_activation(hidden, bits=16)
+            gelu_q, gelu_scale = i_gelu(q, scale)
+            hidden = gelu_q.astype(float) * gelu_scale
+        else:
+            hidden = 0.5 * hidden * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (hidden + 0.044715 * hidden ** 3)))
+        return hidden @ self.w2 + self.b2
+
+
+class EncoderLayer:
+    """One encoder layer: attention + FFN with residuals and layer norms."""
+
+    def __init__(self, config: EncoderConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.attention = MultiHeadAttention(config, rng)
+        self.ffn = FeedForward(config, rng)
+        self.ln1_gamma = np.ones(config.hidden_size)
+        self.ln1_beta = np.zeros(config.hidden_size)
+        self.ln2_gamma = np.ones(config.hidden_size)
+        self.ln2_beta = np.zeros(config.hidden_size)
+
+    def _layernorm(self, x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                   integer: bool = False) -> np.ndarray:
+        if integer:
+            q, scale = quantize_activation(x, bits=16)
+            out_q, out_scale = i_layernorm(q, scale, gamma, beta)
+            return out_q.astype(float) * out_scale
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + 1e-5) * gamma + beta
+
+    def forward(self, x: np.ndarray, integer_kernels: bool = False) -> np.ndarray:
+        attended = self.attention.forward(x, integer_softmax=integer_kernels)
+        x = self._layernorm(x + attended, self.ln1_gamma, self.ln1_beta, integer_kernels)
+        fed = self.ffn.forward(x, integer_gelu=integer_kernels)
+        return self._layernorm(x + fed, self.ln2_gamma, self.ln2_beta, integer_kernels)
+
+
+class TransformerEncoder:
+    """A stack of encoder layers."""
+
+    def __init__(self, config: Optional[EncoderConfig] = None, seed: int = 0) -> None:
+        self.config = config if config is not None else EncoderConfig.bert_base()
+        rng = np.random.default_rng(seed)
+        self.layers: List[EncoderLayer] = [
+            EncoderLayer(self.config, rng) for _ in range(self.config.num_layers)
+        ]
+
+    def forward(self, x: np.ndarray, integer_kernels: bool = False) -> np.ndarray:
+        """Run the full encoder over a (seq, hidden) input."""
+        for layer in self.layers:
+            x = layer.forward(x, integer_kernels=integer_kernels)
+        return x
+
+    def parameter_count(self) -> int:
+        """Total weight parameters in the encoder stack."""
+        config = self.config
+        per_layer = 4 * config.hidden_size ** 2 + 2 * config.hidden_size * config.ffn_size
+        per_layer += config.ffn_size + config.hidden_size + 4 * config.hidden_size
+        return per_layer * config.num_layers

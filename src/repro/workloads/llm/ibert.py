@@ -1,0 +1,103 @@
+"""Integer-only kernels for transformer non-linearities (I-BERT style).
+
+DARTH-PUM executes the encoder's non-MVM operations -- softmax, GELU, layer
+normalisation, square root -- in its digital compute element using the
+integer-only algorithms of I-BERT (Section 5.2): polynomial approximations
+of exp/erf plus an integer Newton iteration for the square root.  These are
+exactly the functions a CPU (Baseline) or a special function unit (AppAccel)
+would otherwise provide.
+
+The functions operate on scaled integer tensors ``(q, scale)`` where the real
+value is ``q * scale``; every function returns a new ``(q, scale)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["integer_sqrt", "i_exp", "i_softmax", "i_gelu", "i_layernorm", "quantize_activation"]
+
+
+def quantize_activation(x: np.ndarray, bits: int = 8) -> Tuple[np.ndarray, float]:
+    """Symmetric activation quantisation to ``(q, scale)``."""
+    x = np.asarray(x, dtype=float)
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    scale = max_abs / qmax if max_abs > 0 else 1.0
+    q = np.clip(np.rint(x / scale), -qmax, qmax).astype(np.int64)
+    return q, scale
+
+
+def integer_sqrt(n: np.ndarray) -> np.ndarray:
+    """Element-wise integer square root via Newton's method (I-BERT Alg. 4)."""
+    n = np.asarray(n, dtype=np.int64)
+    result = np.zeros_like(n)
+    positive = n > 0
+    if not positive.any():
+        return result
+    x = np.where(positive, np.int64(1) << ((np.int64(np.ceil(np.log2(np.maximum(n, 1)))) + 1) // 2), 1)
+    for _ in range(20):
+        x_new = (x + n // np.maximum(x, 1)) // 2
+        converged = x_new >= x
+        x = np.where(converged, x, x_new)
+    return np.where(positive, x, 0)
+
+
+def _i_poly_exp(q: np.ndarray, scale: float) -> Tuple[np.ndarray, float]:
+    """Second-order polynomial approximation of exp(x) for x <= 0 (I-BERT)."""
+    # exp(x) ~ 0.3585 * (x + 1.353)^2 + 0.344 on [-ln2, 0], with range reduction
+    # exp(x) = 2^(-z) * exp(r) where x = -z*ln2 + r.
+    ln2 = np.log(2.0)
+    q = np.asarray(q, dtype=np.float64) * scale
+    z = np.floor(-q / ln2)
+    r = q + z * ln2
+    poly = 0.3585 * (r + 1.353) ** 2 + 0.344
+    values = poly / (2.0 ** z)
+    out_scale = values.max() / (2 ** 15 - 1) if values.size and values.max() > 0 else 1.0
+    return np.rint(values / out_scale).astype(np.int64), float(out_scale)
+
+
+def i_exp(q: np.ndarray, scale: float) -> Tuple[np.ndarray, float]:
+    """Integer exponential of non-positive scaled integers."""
+    return _i_poly_exp(q, scale)
+
+
+def i_softmax(q: np.ndarray, scale: float, axis: int = -1) -> Tuple[np.ndarray, float]:
+    """Integer softmax along ``axis`` (I-BERT Algorithm 3)."""
+    q = np.asarray(q, dtype=np.int64)
+    shifted = q - q.max(axis=axis, keepdims=True)
+    exp_q, exp_scale = i_exp(shifted, scale)
+    denom = exp_q.sum(axis=axis, keepdims=True)
+    denom = np.maximum(denom, 1)
+    out = exp_q.astype(np.float64) / denom
+    out_scale = 1.0 / (2 ** 15)
+    return np.rint(out / out_scale).astype(np.int64), out_scale
+
+
+def i_gelu(q: np.ndarray, scale: float) -> Tuple[np.ndarray, float]:
+    """Integer GELU via the I-BERT sigmoid-polynomial approximation."""
+    x = np.asarray(q, dtype=np.float64) * scale
+    # erf(x/sqrt(2)) ~ sign(x) * poly(min(|x|, limit)) with a quadratic poly.
+    a, b, c = -0.2888, -1.769, 1.0
+    clipped = np.minimum(np.abs(x) / np.sqrt(2.0), -b)
+    erf_approx = np.sign(x) * (a * (clipped + b) ** 2 + c)
+    values = x * 0.5 * (1.0 + erf_approx)
+    out_q, out_scale = quantize_activation(values, bits=16)
+    return out_q, out_scale
+
+
+def i_layernorm(q: np.ndarray, scale: float, gamma: np.ndarray, beta: np.ndarray,
+                axis: int = -1) -> Tuple[np.ndarray, float]:
+    """Integer layer normalisation using the integer square root."""
+    q = np.asarray(q, dtype=np.int64)
+    mean = q.mean(axis=axis, keepdims=True)
+    centered = q - np.rint(mean).astype(np.int64)
+    variance = np.maximum((centered.astype(np.float64) ** 2).mean(axis=axis, keepdims=True), 1.0)
+    std = integer_sqrt(np.rint(variance).astype(np.int64)).astype(np.float64)
+    std = np.maximum(std, 1.0)
+    normalised = centered / std
+    values = normalised * np.asarray(gamma) + np.asarray(beta)
+    out_q, out_scale = quantize_activation(values, bits=16)
+    return out_q, out_scale

@@ -1,0 +1,27 @@
+"""Shared fixtures for the DARTH-PUM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HctConfig, HybridComputeTile
+from repro.digital import BitPipeline
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pipeline():
+    """A 16-bit, 8-row digital pipeline (fast enough for functional tests)."""
+    return BitPipeline(depth=16, rows=8, cols=16)
+
+
+@pytest.fixture
+def small_tile():
+    """A reduced hybrid compute tile."""
+    return HybridComputeTile(HctConfig.small())

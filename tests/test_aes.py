@@ -1,0 +1,155 @@
+"""Tests for the AES workload: reference implementation and DARTH-PUM mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.aes import (
+    DarthPumAes,
+    SBOX,
+    INV_SBOX,
+    decrypt_block,
+    encrypt_block,
+    gf_mul,
+    key_expansion,
+    mix_columns,
+    mixcolumns_bit_matrix,
+    shift_rows,
+    sub_bytes,
+    inv_mix_columns,
+    inv_shift_rows,
+    bytes_to_state,
+    state_to_bytes,
+    xtime,
+)
+from repro.workloads.aes.profile import aes_profile
+
+# FIPS-197 test vectors.
+FIPS_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_KEY128 = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+APPENDIX_C_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+APPENDIX_C_KEY192 = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+APPENDIX_C_CIPHER192 = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+APPENDIX_C_KEY256 = bytes.fromhex(
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+)
+APPENDIX_C_CIPHER256 = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+
+class TestGaloisField:
+    def test_xtime_known_values(self):
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47
+
+    def test_gf_mul_known_value(self):
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_gf_mul_distributes_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_gf_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+
+class TestReferenceAes:
+    def test_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert INV_SBOX[SBOX[0xAB]] == 0xAB
+
+    def test_sbox_is_a_permutation(self):
+        assert len(set(SBOX.tolist())) == 256
+
+    def test_fips_128_vector(self):
+        assert bytes(encrypt_block(FIPS_PLAINTEXT, FIPS_KEY128)) == FIPS_CIPHERTEXT
+
+    def test_fips_192_and_256_vectors(self):
+        assert bytes(encrypt_block(APPENDIX_C_PLAINTEXT, APPENDIX_C_KEY192)) == APPENDIX_C_CIPHER192
+        assert bytes(encrypt_block(APPENDIX_C_PLAINTEXT, APPENDIX_C_KEY256)) == APPENDIX_C_CIPHER256
+
+    def test_decrypt_inverts_encrypt_all_key_sizes(self):
+        for key in (FIPS_KEY128, APPENDIX_C_KEY192, APPENDIX_C_KEY256):
+            ct = encrypt_block(FIPS_PLAINTEXT, key)
+            assert bytes(decrypt_block(ct, key)) == FIPS_PLAINTEXT
+
+    def test_key_expansion_round_count(self):
+        assert len(key_expansion(FIPS_KEY128)) == 11
+        assert len(key_expansion(APPENDIX_C_KEY192)) == 13
+        assert len(key_expansion(APPENDIX_C_KEY256)) == 15
+
+    def test_shift_rows_and_inverse(self):
+        state = bytes_to_state(np.arange(16))
+        assert np.array_equal(inv_shift_rows(shift_rows(state)), state)
+
+    def test_mix_columns_and_inverse(self):
+        state = bytes_to_state(np.arange(16))
+        assert np.array_equal(inv_mix_columns(mix_columns(state)), state)
+
+    def test_state_byte_order_roundtrip(self):
+        block = np.arange(16, dtype=np.uint8)
+        assert np.array_equal(state_to_bytes(bytes_to_state(block)), block)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_decrypt_inverts_encrypt(self, plaintext, key):
+        ciphertext = encrypt_block(plaintext, key)
+        assert bytes(decrypt_block(ciphertext, key)) == plaintext
+
+
+class TestMixColumnsBitMatrix:
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_parity_trick_matches_reference(self, column):
+        bit_matrix = mixcolumns_bit_matrix()
+        in_bits = np.array([(column[byte] >> bit) & 1 for byte in range(4) for bit in range(8)])
+        out_bits = (bit_matrix @ in_bits) & 1
+        got = np.array([sum(int(out_bits[8 * byte + bit]) << bit for bit in range(8))
+                        for byte in range(4)])
+        state = np.zeros((4, 4), dtype=np.uint8)
+        state[:, 0] = column
+        assert np.array_equal(got, mix_columns(state)[:, 0])
+
+    def test_matrix_is_binary_32x32(self):
+        matrix = mixcolumns_bit_matrix()
+        assert matrix.shape == (32, 32)
+        assert set(np.unique(matrix)) <= {0, 1}
+
+
+class TestDarthPumAes:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return DarthPumAes()
+
+    def test_fips_vector_on_hybrid_tile(self, engine):
+        assert engine.encrypt_bytes(FIPS_PLAINTEXT, FIPS_KEY128) == FIPS_CIPHERTEXT
+
+    def test_matches_reference_for_random_blocks(self, engine, rng):
+        key = bytes(rng.integers(0, 256, size=16, dtype=np.uint8).tolist())
+        for _ in range(2):
+            block = bytes(rng.integers(0, 256, size=16, dtype=np.uint8).tolist())
+            assert engine.encrypt_bytes(block, key) == bytes(encrypt_block(block, key))
+
+    def test_kernel_cycles_accumulate(self, engine):
+        cycles = engine.kernel_cycles.as_dict()
+        assert all(value > 0 for value in cycles.values())
+        assert engine.kernel_cycles.total() == pytest.approx(sum(cycles.values()))
+
+    def test_missing_key_rejected(self):
+        fresh = DarthPumAes()
+        with pytest.raises(Exception):
+            fresh.encrypt(list(range(16)))
+
+
+class TestAesProfile:
+    def test_round_structure(self):
+        profile = aes_profile(128)
+        assert profile.lookup_ops == 160      # 16 bytes x 10 rounds
+        assert profile.mvm_ops[0].count == 36  # 4 columns x 9 MixColumns rounds
+        assert profile.total_macs == 36 * 32 * 32
+
+    def test_more_rounds_for_larger_keys(self):
+        assert aes_profile(256).lookup_ops > aes_profile(128).lookup_ops

@@ -1,0 +1,193 @@
+"""Tests for the architecture models and the figure/table harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NAIVE_HYBRID_SPLITS,
+    figure7_sweep,
+    model_for,
+    naive_hybrid_throughput,
+)
+from repro.eval import (
+    figure07_naive_hybrid,
+    figure13_throughput,
+    figure14_aes_breakdown,
+    figure15_resnet_layers,
+    figure16_energy,
+    figure17_adc_comparison,
+    figure18_gpu_comparison,
+    format_table,
+    headline_results,
+    render_report,
+    run_all,
+    section75_accuracy,
+    table2_configuration,
+    table3_area_power,
+    workload_profiles,
+)
+from repro.metrics import geometric_mean
+from repro.workloads.aes.profile import aes_profile
+
+
+class TestArchitectureModels:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return workload_profiles()
+
+    def test_darth_pum_beats_baseline_on_every_workload(self, profiles):
+        for workload, profile in profiles.items():
+            base = model_for("baseline", workload).evaluate(profile)
+            darth = model_for("darth_pum", workload).evaluate(profile)
+            assert darth.speedup_over(base) > 5
+            assert darth.energy_savings_over(base) > 5
+
+    def test_headline_speedups_within_paper_band(self, profiles):
+        """Who wins and by roughly what factor (within 2x of the paper)."""
+        paper = {"aes128": 59.4, "resnet20": 14.8, "llm_encoder": 40.8}
+        for workload, target in paper.items():
+            base = model_for("baseline", workload).evaluate(profiles[workload])
+            darth = model_for("darth_pum", workload).evaluate(profiles[workload])
+            speedup = darth.speedup_over(base)
+            assert target / 2 < speedup < target * 2
+
+    def test_headline_energy_within_paper_band(self, profiles):
+        paper = {"aes128": 39.6, "resnet20": 51.2, "llm_encoder": 110.7}
+        for workload, target in paper.items():
+            base = model_for("baseline", workload).evaluate(profiles[workload])
+            darth = model_for("darth_pum", workload).evaluate(profiles[workload])
+            savings = darth.energy_savings_over(base)
+            assert target / 2.5 < savings < target * 2.5
+
+    def test_appaccel_relative_positions_match_paper(self, profiles):
+        """AES-NI loses badly to DARTH-PUM; the CNN accelerator wins slightly."""
+        aes_base = model_for("baseline", "aes128").evaluate(profiles["aes128"])
+        aes_darth = model_for("darth_pum", "aes128").evaluate(profiles["aes128"])
+        aes_app = model_for("app_accel", "aes128").evaluate(profiles["aes128"])
+        assert aes_darth.speedup_over(aes_base) / aes_app.speedup_over(aes_base) > 10
+
+        cnn_base = model_for("baseline", "resnet20").evaluate(profiles["resnet20"])
+        cnn_darth = model_for("darth_pum", "resnet20").evaluate(profiles["resnet20"])
+        cnn_app = model_for("app_accel", "resnet20").evaluate(profiles["resnet20"])
+        assert cnn_app.speedup_over(cnn_base) > cnn_darth.speedup_over(cnn_base)
+        assert cnn_app.speedup_over(cnn_base) < 2.5 * cnn_darth.speedup_over(cnn_base)
+
+        llm_darth = model_for("darth_pum", "llm_encoder").evaluate(profiles["llm_encoder"])
+        llm_app = model_for("app_accel", "llm_encoder").evaluate(profiles["llm_encoder"])
+        assert llm_app.throughput_items_per_s > llm_darth.throughput_items_per_s
+
+    def test_gpu_sits_between_baseline_and_darth(self, profiles):
+        for workload, profile in profiles.items():
+            base = model_for("baseline", workload).evaluate(profile)
+            gpu = model_for("gpu", workload).evaluate(profile)
+            darth = model_for("darth_pum", workload).evaluate(profile)
+            assert gpu.speedup_over(base) > 1
+            assert darth.throughput_items_per_s > gpu.throughput_items_per_s
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(Exception):
+            model_for("tpu", "aes128")
+
+    def test_latency_breakdown_sums_to_total(self, profiles):
+        perf = model_for("baseline", "aes128").evaluate(profiles["aes128"])
+        assert sum(perf.latency_breakdown_s.values()) == pytest.approx(perf.latency_s)
+
+
+class TestNaiveHybridSweep:
+    def test_hybrid_peak_beats_both_extremes(self):
+        sweep = figure7_sweep(("oscar",))["oscar"]
+        digital_only = sweep[0]
+        analog_cpu = sweep[-1]
+        peak = max(sweep[1:-1])
+        assert peak > digital_only and peak > analog_cpu
+        assert 2.0 < peak < 5.0  # paper: 3.54x over digital PUM
+
+    def test_analog_cpu_close_to_digital(self):
+        sweep = figure7_sweep(("oscar",))["oscar"]
+        assert 0.8 < sweep[-1] < 1.6  # paper: A is 18% better than D
+
+    def test_ideal_family_helps_pure_digital_most(self):
+        sweep = figure7_sweep(("oscar", "ideal"))
+        digital_gain = sweep["ideal"][0] / sweep["oscar"][0]
+        best_index = int(np.argmax(sweep["oscar"][1:-1])) + 1
+        hybrid_gain = sweep["ideal"][best_index] / sweep["oscar"][best_index]
+        assert digital_gain > 1.5          # paper: 2.1x for pure digital
+        assert hybrid_gain < 1.25          # paper: only 3.2% at the best hybrid
+
+    def test_throughput_positive_for_all_splits(self):
+        for split in NAIVE_HYBRID_SPLITS:
+            assert naive_hybrid_throughput(split) > 0
+
+
+class TestFigures:
+    def test_figure13_structure_and_geomean(self):
+        data = figure13_throughput()
+        assert set(data) == {"digital_pum", "darth_pum", "app_accel"}
+        darth = data["darth_pum"]
+        assert darth["GeoMean"] == pytest.approx(
+            geometric_mean([darth["AES"], darth["ResNet-20"], darth["LLMEnc"]])
+        )
+
+    def test_figure14_baseline_sums_to_100_percent(self):
+        data = figure14_aes_breakdown()
+        assert sum(data["baseline"].values()) == pytest.approx(100.0, rel=0.01)
+        darth_total = sum(data["darth_pum"].values())
+        assert darth_total < sum(data["baseline"].values())
+
+    def test_figure14_mixcolumns_improves_most_on_darth(self):
+        data = figure14_aes_breakdown()
+        assert data["darth_pum"]["MixColumns"] < data["digital_pum"]["MixColumns"]
+
+    def test_figure15_covers_every_resnet_layer(self):
+        data = figure15_resnet_layers()
+        assert len(data["darth_pum"]) == 23  # 22 layers + GeoMean
+        assert all(value > 0 for value in data["darth_pum"].values())
+
+    def test_figure16_energy_log_scale_ordering(self):
+        data = figure16_energy()
+        assert data["darth_pum"]["GeoMean"] > data["digital_pum"]["GeoMean"]
+
+    def test_figure17_sar_beats_ramp_overall(self):
+        data = figure17_adc_comparison()
+        sar = data["throughput"]["darth_pum_sar"]["GeoMean"]
+        ramp = data["throughput"]["darth_pum_ramp"]["GeoMean"]
+        assert sar > ramp                       # paper: SAR 1.5x faster overall
+        assert sar / ramp < 3.0
+        energy_ratio = (data["energy"]["darth_pum_ramp"]["GeoMean"]
+                        / data["energy"]["darth_pum_sar"]["GeoMean"])
+        assert 0.7 < energy_ratio < 1.3         # paper: ramp achieves ~99% of SAR savings
+
+    def test_figure17_aes_prefers_ramp_adcs(self):
+        data = figure17_adc_comparison()
+        assert data["throughput"]["darth_pum_ramp"]["AES"] >= \
+            0.99 * data["throughput"]["darth_pum_sar"]["AES"]
+
+    def test_figure18_darth_beats_gpu(self):
+        data = figure18_gpu_comparison()
+        assert data["darth_pum_speedup"]["GeoMean"] > 1
+        assert data["darth_pum_energy"]["GeoMean"] > 1
+
+    def test_table2_matches_paper_configuration(self):
+        table = table2_configuration()
+        assert table["dce_num_pipelines"] == 64
+        assert table["ace_num_arrays"] == 64
+        assert table["num_adcs"] == {"sar": 2, "ramp": 1}
+
+    def test_table3_iso_area_counts(self):
+        table = table3_area_power()
+        assert table["iso_area_hcts"] == {"sar": 1860, "ramp": 1660}
+
+    def test_section75_noise_does_not_change_predictions(self):
+        result = section75_accuracy(samples=8)
+        assert result["prediction_agreement"] >= 0.75
+
+    def test_headline_results_reported_against_paper(self):
+        results = headline_results()
+        assert set(results["speedup"]) == {"AES", "ResNet-20", "LLMEnc"}
+        assert results["paper_speedup"]["AES"] == 59.4
+
+    def test_report_rendering(self):
+        text = format_table(figure13_throughput(), title="Figure 13")
+        assert "Figure 13" in text and "GeoMean" in text
+        report = render_report({"figure13": figure13_throughput()})
+        assert "figure13" in report

@@ -1,0 +1,177 @@
+"""Tests for the CNN (ResNet-20) and LLM encoder workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HctConfig, HybridComputeTile
+from repro.workloads.cnn import (
+    CnnMapping,
+    Conv2d,
+    NoisyInferenceEngine,
+    ResNet20,
+    SyntheticCifar10,
+    conv2d,
+    im2col,
+    max_pool2d,
+    quantize,
+    resnet20_profile,
+    run_conv_on_tile,
+)
+from repro.workloads.llm import (
+    EncoderConfig,
+    TransformerEncoder,
+    encoder_profile,
+    i_softmax,
+    integer_sqrt,
+    quantize_activation,
+    run_projection_on_tile,
+    LlmMapping,
+)
+
+
+class TestTensorOps:
+    def test_conv2d_matches_naive_convolution(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = conv2d(x, w, stride=1, padding=1)
+        assert out.shape == (1, 3, 5, 5)
+        # Check the centre output position against a direct dot product.
+        patch = x[0, :, 1:4, 1:4].reshape(-1)
+        assert out[0, 0, 2, 2] == pytest.approx(patch @ w[0].reshape(-1))
+
+    def test_im2col_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        patches, out_h, out_w = im2col(x, kernel=3, stride=2, padding=1)
+        assert (out_h, out_w) == (4, 4)
+        assert patches.shape == (2 * 16, 27)
+
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = max_pool2d(x, kernel=2)
+        assert np.array_equal(pooled[0, 0], [[5, 7], [13, 15]])
+
+    def test_quantize_roundtrip_error_bounded(self, rng):
+        x = rng.normal(size=(16, 16))
+        q = quantize(x, bits=8)
+        assert np.abs(q.dequantize() - x).max() <= q.scale
+
+
+class TestResNet20:
+    def test_parameter_count_matches_published_size(self):
+        model = ResNet20()
+        assert 0.26e6 < model.parameter_count() < 0.29e6
+
+    def test_forward_shape_and_determinism(self, rng):
+        model = ResNet20(seed=3)
+        x = rng.normal(size=(2, 3, 32, 32))
+        logits = model.forward(x)
+        assert logits.shape == (2, 10)
+        assert np.array_equal(logits, ResNet20(seed=3).forward(x))
+
+    def test_named_layers_match_figure15_labels(self):
+        labels = [label for label, _, _ in ResNet20().named_mvm_layers()]
+        assert labels[0] == "c1-Conv1"
+        assert labels[-1] == "Seq-b4-Seq"
+        assert "r2-ds" in labels and "r3-ds" in labels
+        assert len(labels) == 22  # 19 convs + 2 downsample convs + 1 FC
+
+    def test_total_macs_match_published_flops(self):
+        profile = resnet20_profile()
+        assert 38e6 < profile.total_macs < 43e6  # ~40.8 M MACs
+
+    def test_mapping_fits_on_chip(self):
+        mapping = CnnMapping(ResNet20())
+        assert 0 < mapping.total_hcts < 1860
+        assert mapping.placement_for("c1-Conv1").rows == 27
+
+
+class TestConvOnTile:
+    def test_device_result_within_quantisation_error(self, small_tile, rng):
+        conv = Conv2d(3, 4, kernel=3, stride=1, padding=1, name="t", rng=rng)
+        image = rng.normal(size=(1, 3, 8, 8))
+        device, reference = run_conv_on_tile(small_tile, conv, image, positions=3)
+        scale = np.abs(reference).max() + 1e-9
+        assert np.abs(device - reference).max() / scale < 0.1
+
+
+class TestNoisyInference:
+    def test_zero_noise_matches_quantised_reference(self, rng):
+        model = ResNet20(seed=1)
+        dataset = SyntheticCifar10(seed=1)
+        images, labels = dataset.sample(4)
+        clean = NoisyInferenceEngine(model, noise_lsb=0.0)
+        again = NoisyInferenceEngine(model, noise_lsb=0.0)
+        assert np.array_equal(clean.forward(images), again.forward(images))
+
+    def test_moderate_noise_preserves_predictions(self):
+        model = ResNet20(seed=1)
+        images, labels = SyntheticCifar10(seed=1).sample(8)
+        clean = np.argmax(NoisyInferenceEngine(model, noise_lsb=0.0).forward(images), axis=1)
+        noisy = np.argmax(NoisyInferenceEngine(model, noise_lsb=0.5, seed=2).forward(images), axis=1)
+        assert np.mean(clean == noisy) >= 0.75
+
+    def test_accuracy_helper(self):
+        model = ResNet20(seed=1)
+        images, labels = SyntheticCifar10(seed=1).sample(4)
+        accuracy = NoisyInferenceEngine(model).accuracy(images, labels)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestIbertKernels:
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=16))
+    def test_integer_sqrt_is_floor_sqrt(self, values):
+        values = np.array(values, dtype=np.int64)
+        roots = integer_sqrt(values)
+        assert np.all(roots ** 2 <= values)
+        assert np.all((roots + 1) ** 2 > values)
+
+    def test_integer_softmax_close_to_float(self, rng):
+        x = rng.normal(size=(4, 12))
+        q, scale = quantize_activation(x, bits=16)
+        probs_q, probs_scale = i_softmax(q, scale, axis=-1)
+        probs = probs_q * probs_scale
+        reference = np.exp(x - x.max(axis=-1, keepdims=True))
+        reference = reference / reference.sum(axis=-1, keepdims=True)
+        assert np.abs(probs / probs.sum(axis=-1, keepdims=True) - reference).max() < 0.05
+
+
+class TestEncoder:
+    def test_forward_shape(self, rng):
+        config = EncoderConfig.tiny()
+        encoder = TransformerEncoder(config)
+        x = rng.normal(size=(config.sequence_length, config.hidden_size))
+        assert encoder.forward(x).shape == x.shape
+
+    def test_integer_kernels_stay_close_to_float(self, rng):
+        config = EncoderConfig.tiny()
+        encoder = TransformerEncoder(config, seed=5)
+        x = rng.normal(size=(config.sequence_length, config.hidden_size))
+        float_out = encoder.forward(x, integer_kernels=False)
+        int_out = encoder.forward(x, integer_kernels=True)
+        relative = np.abs(float_out - int_out).mean() / (np.abs(float_out).mean() + 1e-9)
+        assert relative < 0.05
+
+    def test_bert_base_parameter_count(self):
+        encoder = TransformerEncoder(EncoderConfig.bert_base())
+        assert 80e6 < encoder.parameter_count() < 90e6
+
+    def test_profile_macs_scale_with_sequence_length(self):
+        short = encoder_profile(EncoderConfig.bert_base(sequence_length=64))
+        long = encoder_profile(EncoderConfig.bert_base(sequence_length=128))
+        assert long.total_macs > short.total_macs
+        assert long.nonlinear_ops > 0
+
+    def test_mapping_reports_static_matrices(self):
+        mapping = LlmMapping(EncoderConfig.bert_base())
+        assert mapping.total_hcts > 0
+        assert mapping.weight_bytes == pytest.approx(
+            12 * (4 * 768 * 768 + 2 * 768 * 3072), rel=0.01
+        )
+
+    def test_projection_on_tile(self, small_tile, rng):
+        weight = rng.normal(size=(20, 10))
+        activations = rng.normal(size=(3, 20))
+        device, reference = run_projection_on_tile(small_tile, weight, activations)
+        scale = np.abs(reference).max() + 1e-9
+        assert np.abs(device - reference).max() / scale < 0.1

@@ -1,0 +1,103 @@
+"""Tests for the cost-ledger accounting primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import CostLedger, geometric_mean, merge_ledgers
+
+
+class TestCostLedger:
+    def test_charge_accumulates_cycles_and_energy(self):
+        ledger = CostLedger()
+        ledger.charge("a", cycles=10, energy_pj=5)
+        ledger.charge("a", cycles=2, energy_pj=1)
+        ledger.charge("b", cycles=3)
+        assert ledger.cycles == 15
+        assert ledger.energy_pj == 6
+        assert ledger.cycle_breakdown == {"a": 12, "b": 3}
+
+    def test_charge_power_converts_mw_to_pj_at_1ghz(self):
+        ledger = CostLedger()
+        ledger.charge_power("x", cycles=100, power_mw=2.0)
+        assert ledger.energy_pj == pytest.approx(200.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge("a", cycles=-1)
+
+    def test_merge_combines_breakdowns(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge("x", cycles=1, energy_pj=2)
+        b.charge("x", cycles=3, energy_pj=4)
+        b.charge("y", cycles=5)
+        a.merge(b)
+        assert a.cycles == 9
+        assert a.cycle_breakdown == {"x": 4, "y": 5}
+
+    def test_snapshot_is_immutable_copy(self):
+        ledger = CostLedger()
+        ledger.charge("x", cycles=1)
+        snap = ledger.snapshot()
+        ledger.charge("x", cycles=1)
+        assert snap.cycles == 1
+        assert ledger.cycles == 2
+
+    def test_prefix_aggregation(self):
+        ledger = CostLedger()
+        ledger.charge("dce.add", cycles=5, energy_pj=1)
+        ledger.charge("dce.xor", cycles=3, energy_pj=1)
+        ledger.charge("ace.mvm", cycles=7, energy_pj=2)
+        assert ledger.cycles_for("dce.") == 8
+        assert ledger.energy_for("ace.") == 2
+
+    def test_seconds_and_joules_properties(self):
+        ledger = CostLedger()
+        ledger.charge("x", cycles=1e9, energy_pj=1e12)
+        assert ledger.seconds == pytest.approx(1.0)
+        assert ledger.energy_joules == pytest.approx(1.0)
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.charge("x", cycles=5, energy_pj=5)
+        ledger.reset()
+        assert ledger.cycles == 0 and ledger.energy_pj == 0 and not ledger.cycle_breakdown
+
+
+class TestMergeAndGeomean:
+    def test_merge_ledgers(self):
+        ledgers = []
+        for i in range(3):
+            ledger = CostLedger()
+            ledger.charge("x", cycles=i + 1)
+            ledgers.append(ledger)
+        assert merge_ledgers(ledgers).cycles == 6
+
+    def test_geometric_mean_simple(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20))
+    def test_geometric_mean_bounded_by_min_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) <= mean * (1 + 1e-9)
+        assert mean <= max(values) * (1 + 1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1e6), st.floats(min_value=0, max_value=1e6)),
+        max_size=30,
+    )
+)
+def test_ledger_totals_match_breakdown_sum(charges):
+    """Property: total cycles/energy always equal the breakdown sums."""
+    ledger = CostLedger()
+    for index, (cycles, energy) in enumerate(charges):
+        ledger.charge(f"cat{index % 3}", cycles=cycles, energy_pj=energy)
+    assert ledger.cycles == pytest.approx(sum(ledger.cycle_breakdown.values()))
+    assert ledger.energy_pj == pytest.approx(sum(ledger.energy_breakdown.values()))

@@ -1,0 +1,76 @@
+"""Tests for the application-specific runtime sessions (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.runtime.apps import AesSession, CnnSession, LlmSession
+from repro.workloads.aes import encrypt_block
+from repro.workloads.llm import EncoderConfig
+
+
+class TestAesSession:
+    def test_encrypt_matches_reference_and_decrypt_roundtrips(self):
+        key = bytes(range(16))
+        session = AesSession(key=key)
+        plaintext = bytes(range(100, 116))
+        ciphertext = session.encrypt(plaintext)
+        assert ciphertext == bytes(encrypt_block(plaintext, key))
+        assert session.decrypt(ciphertext) == plaintext
+
+    def test_missing_key_rejected(self):
+        session = AesSession()
+        with pytest.raises(MappingError):
+            session.encrypt(bytes(16))
+
+    def test_kernel_cycles_exposed(self):
+        session = AesSession(key=bytes(16))
+        session.encrypt(bytes(range(16)))
+        assert session.kernel_cycles.total() > 0
+
+
+class TestCnnSession:
+    def test_set_model_allocates_hcts(self):
+        session = CnnSession()
+        assert session.hcts_allocated > 0
+        assert len(session.mapping.placements) == 22
+
+    def test_run_inference_shapes_and_prediction(self, rng):
+        session = CnnSession()
+        images = rng.normal(size=(2, 3, 32, 32))
+        logits = session.run_inference(images)
+        assert logits.shape == (2, 10)
+        assert session.predict(images).shape == (2,)
+
+    def test_accuracy_target_changes_bits_per_cell(self):
+        precise = CnnSession(accuracy_target=0)
+        dense = CnnSession(accuracy_target=2)
+        assert dense.hcts_allocated <= precise.hcts_allocated
+
+    def test_change_activation_is_recorded(self):
+        session = CnnSession()
+        session.change_activation(np.tanh)
+        assert session._activation is np.tanh
+
+
+class TestLlmSession:
+    def test_build_encoder_and_run_inference(self, rng):
+        session = LlmSession(EncoderConfig.tiny())
+        tokens = rng.normal(size=(session.config.sequence_length, session.config.hidden_size))
+        out = session.run_inference(tokens)
+        assert out.shape == tokens.shape
+        assert session.hcts_allocated > 0
+
+    def test_wrong_input_shape_rejected(self, rng):
+        session = LlmSession(EncoderConfig.tiny())
+        with pytest.raises(MappingError):
+            session.run_inference(rng.normal(size=(3, 3)))
+
+    def test_change_activation_toggles_integer_kernels(self, rng):
+        session = LlmSession(EncoderConfig.tiny())
+        tokens = rng.normal(size=(session.config.sequence_length, session.config.hidden_size))
+        integer_out = session.run_inference(tokens)
+        session.change_activation(False)
+        float_out = session.run_inference(tokens)
+        assert not np.array_equal(integer_out, float_out)
+        assert np.abs(integer_out - float_out).mean() / np.abs(float_out).mean() < 0.05
