@@ -1,0 +1,32 @@
+# Convenience wrappers around the canonical commands (see README.md).
+# Everything assumes the repo root as working directory.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test unit bench doctest docs-check batch-bench all
+
+# Tier-1: the full unit + benchmark suite.
+test:
+	$(PY) -m pytest -x -q
+
+# Unit tests only (fast).
+unit:
+	$(PY) -m pytest tests -q
+
+# Figure/table regeneration + throughput benchmarks.
+bench:
+	$(PY) -m pytest benchmarks -q
+
+# Doctest-style examples in the public runtime API.
+doctest:
+	$(PY) -m pytest --doctest-modules src/repro/runtime -q
+
+# Documentation health: doctests + markdown link checker.
+docs-check:
+	$(PY) -m pytest tests/test_docs.py -q
+
+# The batched-engine acceptance gate (>=5x over looped exec_mvm).
+batch-bench:
+	$(PY) -m pytest benchmarks/test_batch_throughput.py -q
+
+all: test doctest docs-check

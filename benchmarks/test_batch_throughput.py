@@ -1,0 +1,71 @@
+"""Batched execution engine throughput: ``exec_mvm_batch`` vs looped ``exec_mvm``.
+
+The acceptance gate for the batched execution engine: at batch 32 the
+batched path must be at least 5x faster in host wall-clock time than 32
+sequential single-vector calls, while remaining bit-identical in the
+noise-free configuration.  (In practice the vectorised crossbar and
+reduction paths land two orders of magnitude above the gate.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import DarthPumDevice
+
+BATCH = 32
+INPUT_BITS = 8
+
+
+@pytest.fixture(scope="module")
+def served_matrix():
+    """A device with one stored 64x64 matrix and a fixed request batch."""
+    rng = np.random.default_rng(7)
+    device = DarthPumDevice()
+    matrix = rng.integers(-100, 100, size=(64, 64))
+    allocation = device.set_matrix(matrix, element_size=8, precision=0)
+    vectors = rng.integers(0, 256, size=(BATCH, 64))
+    return device, allocation, matrix, vectors
+
+
+def test_batch_is_bit_identical_to_loop(served_matrix):
+    device, allocation, matrix, vectors = served_matrix
+    looped = np.stack(
+        [device.exec_mvm(allocation, v, input_bits=INPUT_BITS) for v in vectors]
+    )
+    batched = device.exec_mvm_batch(allocation, vectors, input_bits=INPUT_BITS)
+    assert np.array_equal(batched, looped)
+    assert np.array_equal(batched, vectors @ matrix)
+
+
+def test_batch_speedup_at_least_5x(served_matrix):
+    device, allocation, _, vectors = served_matrix
+    # Warm both paths once (lazy pipeline materialisation, numpy caches).
+    device.exec_mvm(allocation, vectors[0], input_bits=INPUT_BITS)
+    device.exec_mvm_batch(allocation, vectors[:2], input_bits=INPUT_BITS)
+
+    start = time.perf_counter()
+    for vector in vectors:
+        device.exec_mvm(allocation, vector, input_bits=INPUT_BITS)
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    device.exec_mvm_batch(allocation, vectors, input_bits=INPUT_BITS)
+    batch_seconds = time.perf_counter() - start
+
+    speedup = loop_seconds / max(batch_seconds, 1e-12)
+    print(f"\nbatch {BATCH}: looped {loop_seconds * 1e3:.1f} ms, "
+          f"batched {batch_seconds * 1e3:.1f} ms, speedup {speedup:.0f}x")
+    assert speedup >= 5.0
+
+
+def test_batch_throughput_benchmark(served_matrix, benchmark):
+    """Report batched requests/second for the throughput dashboards."""
+    device, allocation, _, vectors = served_matrix
+    result = benchmark(
+        lambda: device.exec_mvm_batch(allocation, vectors, input_bits=INPUT_BITS)
+    )
+    assert result.shape == (BATCH, 64)

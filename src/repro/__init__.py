@@ -18,15 +18,17 @@ from .core.chip import DarthPumChip
 from .core.config import ChipConfig, HctConfig
 from .core.hct import HybridComputeTile
 from .metrics import CostLedger
+from .runtime.pool import DevicePool
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChipConfig",
     "CostLedger",
     "DarthPumChip",
     "DarthPumDevice",
+    "DevicePool",
     "HctConfig",
     "HybridComputeTile",
     "__version__",

@@ -26,7 +26,15 @@ from .crossbar import AnalogCrossbar
 from .dac import DigitalToAnalogConverter
 from .numbers import DifferentialPairs, OffsetSubtraction
 
-__all__ = ["AceConfig", "AnalogComputeElement", "MatrixHandle", "PartialProduct", "MvmExecution"]
+__all__ = [
+    "AceConfig",
+    "AnalogComputeElement",
+    "BatchMvmExecution",
+    "BatchPartialProduct",
+    "MatrixHandle",
+    "MvmExecution",
+    "PartialProduct",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,50 @@ class MvmExecution:
             width = partial.values.shape[0]
             segment = np.rint(partial.values).astype(np.int64) << partial.shift
             result[partial.col_offset: partial.col_offset + width] += segment
+        return result
+
+
+@dataclass(frozen=True)
+class BatchPartialProduct:
+    """One ADC output *matrix* produced during a batched bit-sliced MVM.
+
+    Identical to :class:`PartialProduct` except that ``values`` holds the
+    partial products of the whole batch, one row per input vector
+    (shape ``(batch, tile_cols)``).
+    """
+
+    values: np.ndarray
+    shift: int
+    input_bit: int
+    weight_slice: int
+    row_tile: int
+    col_tile: int
+    col_offset: int
+
+
+@dataclass
+class BatchMvmExecution:
+    """The partial-product stream and cost of one batched analog MVM."""
+
+    handle: MatrixHandle
+    batch: int
+    partials: List[BatchPartialProduct] = field(default_factory=list)
+    plan: Optional[ShiftAddPlan] = None
+    analog_cycles: float = 0.0
+    analog_energy_pj: float = 0.0
+
+    def reduce(self) -> np.ndarray:
+        """Vectorised shift-and-add reduction of the whole batch.
+
+        Returns an ``(batch, cols)`` integer matrix; this is the reference
+        reduction the DCE performs in hardware.
+        """
+        rows, cols = self.handle.shape
+        result = np.zeros((self.batch, cols), dtype=np.int64)
+        for partial in self.partials:
+            width = partial.values.shape[1]
+            segment = np.rint(partial.values).astype(np.int64) << partial.shift
+            result[:, partial.col_offset: partial.col_offset + width] += segment
         return result
 
 
@@ -362,7 +414,80 @@ class AnalogComputeElement:
         execution.analog_energy_pj = end.energy_pj - start.energy_pj
         return execution
 
+    def execute_mvm_batch(
+        self,
+        handle: MatrixHandle,
+        vectors: np.ndarray,
+        input_bits: int = 8,
+        active_adc_bits: Optional[int] = None,
+    ) -> BatchMvmExecution:
+        """Run a batch of input vectors through the analog arrays together.
+
+        ``vectors`` has shape ``(batch, rows)``.  The bit-sliced schedule is
+        identical to :meth:`execute_mvm`, but each (input bit, row tile,
+        column tile, weight slice) step drives the crossbar with the whole
+        batch at once (:meth:`AnalogCrossbar.mvm_batch`), so the front-end
+        and per-step Python overheads are amortised over the batch.
+        """
+        if not self.enabled:
+            raise AllocationError("the ACE of this tile has been disabled")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        rows, cols = handle.shape
+        if vectors.shape[1] != rows:
+            raise QuantizationError(
+                f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
+            )
+        batch = vectors.shape[0]
+        # slice_inputs is element-wise, so it bit-slices the whole batch at once.
+        bit_matrices = slice_inputs(vectors, input_bits)
+        plan = ShiftAddPlan(
+            input_bits=input_bits,
+            weight_slices=handle.num_slices,
+            bits_per_cell=handle.bits_per_cell,
+        )
+        execution = BatchMvmExecution(handle=handle, batch=batch, plan=plan)
+
+        array_index = 0
+        array_grid: Dict[Tuple[int, int, int], int] = {}
+        for row_tile in range(handle.row_tiles):
+            for col_tile in range(handle.col_tiles):
+                for weight_slice in range(handle.num_slices):
+                    array_grid[(row_tile, col_tile, weight_slice)] = handle.array_ids[array_index]
+                    array_index += 1
+
+        start = self.ledger.snapshot()
+        for input_bit, bit_matrix in enumerate(bit_matrices):
+            for row_tile in range(handle.row_tiles):
+                r0 = row_tile * self.config.array_rows
+                r1 = min(rows, r0 + self.config.array_rows)
+                tile_bits = bit_matrix[:, r0:r1]
+                for col_tile in range(handle.col_tiles):
+                    c0 = col_tile * self.config.array_cols
+                    for weight_slice in range(handle.num_slices):
+                        array_id = array_grid[(row_tile, col_tile, weight_slice)]
+                        output = self._crossbars[array_id].mvm_batch(
+                            tile_bits, active_adc_bits=active_adc_bits
+                        )
+                        execution.partials.append(
+                            BatchPartialProduct(
+                                values=output.values,
+                                shift=input_bit + weight_slice * handle.bits_per_cell,
+                                input_bit=input_bit,
+                                weight_slice=weight_slice,
+                                row_tile=row_tile,
+                                col_tile=col_tile,
+                                col_offset=c0,
+                            )
+                        )
+        end = self.ledger.snapshot()
+        execution.analog_cycles = end.cycles - start.cycles
+        execution.analog_energy_pj = end.energy_pj - start.energy_pj
+        return execution
+
     def expected_mvm(self, handle: MatrixHandle, vector: np.ndarray) -> np.ndarray:
-        """Noise-free reference ``vector @ matrix`` (used by tests and the runtime)."""
+        """Noise-free reference ``vector @ matrix`` (used by tests and the runtime).
+
+        Accepts a single vector or a ``(batch, rows)`` matrix of vectors.
+        """
         matrix = self._matrices[handle.handle_id]
         return np.asarray(vector, dtype=np.int64) @ matrix

@@ -27,7 +27,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..analog.ace import AnalogComputeElement, MatrixHandle, MvmExecution
+from ..analog.ace import (
+    AnalogComputeElement,
+    BatchMvmExecution,
+    MatrixHandle,
+    MvmExecution,
+)
 from ..analog.compensation import ParasiticCompensation
 from ..digital.dce import DigitalComputeElement
 from ..digital.logic import get_family
@@ -42,7 +47,7 @@ from .shift_unit import ShiftUnit
 from .transpose_unit import TransposeUnit
 from .vacore import VACore, VACoreManager
 
-__all__ = ["HybridComputeTile", "HctMvmResult"]
+__all__ = ["HybridComputeTile", "HctBatchMvmResult", "HctMvmResult"]
 
 
 @dataclass
@@ -72,6 +77,45 @@ class HctMvmResult:
     @property
     def speedup_from_optimization(self) -> float:
         """How much the Section 4.1 optimisations help for this MVM."""
+        if self.optimized_cycles == 0:
+            return 1.0
+        return self.unoptimized_cycles / self.optimized_cycles
+
+
+@dataclass
+class HctBatchMvmResult:
+    """The outcome of one batched hybrid MVM on an HCT."""
+
+    #: The reduced output vectors, one row per input vector (signed integers).
+    values: np.ndarray
+    #: Number of input vectors in the batch.
+    batch: int
+    #: Wall-clock cycles for the whole batch, optimised schedule.
+    optimized_cycles: float
+    #: Wall-clock cycles for the whole batch, naive serialised schedule.
+    unoptimized_cycles: float
+    #: Energy consumed by the batch (analog + digital), in pJ.
+    energy_pj: float
+    #: Per-phase cycle breakdown of the optimised schedule.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Partial products the reduction consumed *per vector*.
+    num_partial_products: int = 0
+    #: Front-end instruction slots saved by the IIU across the batch.
+    iiu_slots_saved: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Alias for the optimised wall-clock latency of the batch."""
+        return self.optimized_cycles
+
+    @property
+    def cycles_per_vector(self) -> float:
+        """Amortised optimised latency per input vector."""
+        return self.optimized_cycles / max(1, self.batch)
+
+    @property
+    def speedup_from_optimization(self) -> float:
+        """How much the Section 4.1 optimisations help for this batch."""
         if self.optimized_cycles == 0:
             return 1.0
         return self.unoptimized_cycles / self.optimized_cycles
@@ -254,6 +298,87 @@ class HybridComputeTile:
             iiu_slots_saved=slots_saved,
         )
 
+    def execute_mvm_batch(
+        self,
+        handle: MatrixHandle,
+        vectors: np.ndarray,
+        input_bits: int = 8,
+        optimized: bool = True,
+        compensation: Optional[ParasiticCompensation] = None,
+        active_adc_bits: Optional[int] = None,
+    ) -> HctBatchMvmResult:
+        """Run a whole batch of hybrid MVMs through the tile in one pass.
+
+        ``vectors`` has shape ``(batch, rows)``.  The arbiter serialises the
+        batch as one analog-domain reservation, the ACE streams the batch
+        through every (input bit, tile, slice) step with a single vectorised
+        crossbar operation per step, and the DCE reduction runs as one NumPy
+        sum per column tile with analytically reconstructed µop costs --
+        replacing ``batch * partials`` gate-level write+ADD sequences.  In
+        the noise-free configuration the returned rows are bit-identical to
+        ``batch`` sequential :meth:`execute_mvm` calls.
+        """
+        if not self.analog_enabled:
+            raise AllocationError("the ACE of this tile has been disabled")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        batch = vectors.shape[0]
+        if batch == 0:
+            raise ExecutionError("execute_mvm_batch needs at least one input vector")
+        start_energy = self.ledger.energy_pj
+        execution = self.ace.execute_mvm_batch(
+            handle, vectors, input_bits=input_bits, active_adc_bits=active_adc_bits
+        )
+
+        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
+        if not self.digital_post_processing:
+            values = execution.reduce()
+            if compensation is not None:
+                values = np.stack(
+                    [compensation.recover(values[i], vectors[i]) for i in range(batch)]
+                )
+            cycles = execution.analog_cycles
+            return HctBatchMvmResult(
+                values=values,
+                batch=batch,
+                optimized_cycles=cycles,
+                unoptimized_cycles=cycles,
+                energy_pj=self.ledger.energy_pj - start_energy,
+                breakdown={"analog": cycles},
+                num_partial_products=len(execution.partials),
+            )
+
+        values, reduce_costs, slots_saved = self._reduce_batch_in_dce(execution, output_base)
+        if compensation is not None:
+            values = np.stack(
+                [compensation.recover(values[i], vectors[i]) for i in range(batch)]
+            )
+
+        optimized_cycles, breakdown = self._timeline(
+            execution, reduce_costs, optimized=True, batch=batch
+        )
+        unoptimized_cycles, _ = self._timeline(
+            execution, reduce_costs, optimized=False, batch=batch
+        )
+
+        for tile in range(handle.col_tiles):
+            self.arbiter.acquire(
+                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
+            )
+        charged = optimized_cycles if optimized else unoptimized_cycles
+        self._clock += charged
+        self.ledger.charge("hct.mvm_batch", cycles=charged)
+
+        return HctBatchMvmResult(
+            values=values,
+            batch=batch,
+            optimized_cycles=optimized_cycles,
+            unoptimized_cycles=unoptimized_cycles,
+            energy_pj=self.ledger.energy_pj - start_energy,
+            breakdown=breakdown,
+            num_partial_products=len(execution.partials),
+            iiu_slots_saved=slots_saved,
+        )
+
     # ------------------------------------------------------------------ #
     # Internals                                                            #
     # ------------------------------------------------------------------ #
@@ -303,13 +428,63 @@ class HybridComputeTile:
             result[col_offset: col_offset + tile_width] = reduced
         return result, all_costs, slots_saved
 
+    def _reduce_batch_in_dce(self, execution: BatchMvmExecution, output_base: int):
+        """Vectorised batch reduction of the partial-product stream.
+
+        One NumPy shift-and-add per column tile replaces the per-element
+        gate-level path of :meth:`_reduce_in_dce`; the shift units still
+        align every partial product in flight and the IIU reconstructs the
+        equivalent µop stream for cost accounting.
+        """
+        handle = execution.handle
+        rows, cols = handle.shape
+        staging = self._staging_vrs()
+        accumulator = 0
+        all_costs: List[WordOpCost] = []
+        slots_saved = 0
+        result = np.zeros((execution.batch, cols), dtype=np.int64)
+
+        for col_tile in range(handle.col_tiles):
+            pipeline_index = output_base + col_tile
+            pipeline = self.dce.pipeline(pipeline_index)
+            tile_partials = [p for p in execution.partials if p.col_tile == col_tile]
+            if not tile_partials:
+                continue
+            shifted_values = []
+            shifts = []
+            for partial in tile_partials:
+                transfer = self.shift_unit.apply(
+                    np.rint(partial.values).astype(np.int64),
+                    input_bit=partial.input_bit,
+                    extra_shift=partial.weight_slice * handle.bits_per_cell,
+                )
+                self.transpose_unit.batch_to_registers(transfer.values)
+                shifted_values.append(transfer.values)
+                shifts.append(transfer.shift)
+            reduced, costs, saved = self.iiu.inject_reduction_batch(
+                pipeline, shifted_values, accumulator, staging, shifts
+            )
+            all_costs.extend(costs)
+            slots_saved += saved
+            tile_width = tile_partials[0].values.shape[1]
+            col_offset = tile_partials[0].col_offset
+            result[:, col_offset: col_offset + tile_width] = reduced[:, :tile_width]
+        return result, all_costs, slots_saved
+
     def _timeline(
         self,
-        execution: MvmExecution,
+        execution,
         reduce_costs: Sequence[WordOpCost],
         optimized: bool,
+        batch: int = 1,
     ):
-        """Wall-clock latency of the MVM under the two schedules of Figure 10."""
+        """Wall-clock latency of the MVM under the two schedules of Figure 10.
+
+        ``batch`` scales the analog production phase: a batch of input
+        vectors streams ``batch`` times as many partial products through the
+        same schedule (``reduce_costs`` already contains the whole batch's
+        write+ADD stream).
+        """
         handle = execution.handle
         cols_per_tile = min(handle.shape[1], self.config.ace.array_cols)
         rows_per_write = self.config.dce.rows
@@ -325,6 +500,7 @@ class HybridComputeTile:
         steps = execution.plan.num_partial_products * handle.row_tiles if execution.plan else len(
             execution.partials
         )
+        steps *= batch
         transfer = self.shift_unit.transfer_cycles(cols_per_tile)
         write = float(rows_per_write)
 

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..analog.bitslicing import ShiftAddPlan
-from ..digital.microops import WordOpCost
+from ..digital.microops import WordOpCost, WordOpKind
 from ..digital.pipeline import BitPipeline
 
 __all__ = ["InjectionTableEntry", "InstructionInjectionUnit"]
@@ -104,3 +106,61 @@ class InstructionInjectionUnit:
         saved = int(sum(c.total_uops for c in costs))
         self.front_end_slots_saved += saved
         return costs, saved
+
+    def inject_reduction_batch(
+        self,
+        pipeline: BitPipeline,
+        partial_values: Sequence[np.ndarray],
+        accumulator_vr: int,
+        staging_vrs: Sequence[int],
+        shifts: Sequence[int],
+    ) -> Tuple[np.ndarray, List[WordOpCost], int]:
+        """Reduce a whole batch of partial-product streams in one pass.
+
+        ``partial_values`` holds one already-shifted ``(batch, width)`` matrix
+        per partial product.  Instead of executing ``batch * len(partials)``
+        gate-level write+ADD sequences (the per-element path of
+        :meth:`inject_reduction`), the reduction is a single NumPy sum; the
+        µop stream the hardware would execute is reconstructed analytically so
+        cycle, energy, and front-end-slot accounting match the gate path.
+
+        Returns ``(reduced, costs, slots_saved)`` where ``reduced`` is the
+        ``(batch, width)`` accumulator contents after the stream.
+        """
+        stacked = np.stack([np.asarray(v, dtype=np.int64) for v in partial_values])
+        batch, width = stacked.shape[1], stacked.shape[2]
+        depth, rows = pipeline.depth, pipeline.rows
+        reduced = stacked.sum(axis=0)
+        if depth < 64:
+            # Gate-level adds wrap modulo 2**depth and the accumulator is read
+            # back as a two's-complement value of ``depth`` bits.
+            mask = np.int64((1 << depth) - 1)
+            sign = np.int64(1) << (depth - 1)
+            reduced = ((reduced & mask) ^ sign) - sign
+
+        add_uops = float(pipeline.add_uops_per_bit)
+        write = WordOpCost("write_vr", WordOpKind.WRITE, 1.0, depth, rows)
+        add = WordOpCost("add", WordOpKind.CARRY, add_uops, depth, rows)
+        costs: List[WordOpCost] = [write, add] * (batch * len(partial_values))
+        # Energy parity with the gate path: every staged write touches one
+        # device per bit per transferred element, every ADD executes its NOR
+        # network on all ``rows`` rows of all ``depth`` arrays.
+        nor_energy = pipeline.family.primitive("NOR").energy_per_row_pj
+        num_ops = batch * len(partial_values)
+        pipeline.ledger.charge(
+            "dce.write", energy_pj=num_ops * pipeline.WRITE_ENERGY_PJ * width * depth
+        )
+        pipeline.ledger.charge(
+            "dce.boolean", energy_pj=num_ops * add_uops * depth * nor_energy * rows
+        )
+        pipeline.op_log.extend(costs)
+
+        # Leave the accumulator VR holding the last vector's reduction so the
+        # pipeline state matches the end of the hardware stream (the bulk
+        # charges above already cover this write).
+        pipeline.set_vr_bits(accumulator_vr, reduced[-1])
+
+        self.injections += 1
+        saved = int(sum(c.total_uops for c in costs))
+        self.front_end_slots_saved += saved
+        return reduced, costs, saved

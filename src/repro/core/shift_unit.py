@@ -71,10 +71,12 @@ class ShiftUnit:
         per_bit = 1 if self.configured_shift_per_bit is None else self.configured_shift_per_bit
         shift = input_bit * per_bit + extra_shift
         shifted = np.asarray(values, dtype=np.int64) << shift
+        # ``values`` may be one partial-product vector or a (batch, width)
+        # matrix of them; either way every element crosses the network.
         return ShiftedTransfer(
             values=shifted,
             shift=shift,
-            transfer_cycles=self.transfer_cycles(np.asarray(values).shape[0]),
+            transfer_cycles=self.transfer_cycles(int(np.asarray(values).size)),
         )
 
     def rate_matched(self, adc_elements_per_cycle: float, dce_rows_per_cycle: float = 1.0) -> bool:

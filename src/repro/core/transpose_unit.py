@@ -46,6 +46,19 @@ class TransposeUnit:
         self.vector_count += 1
         return TransposeResult(values=row_vector.reshape(-1), cycles=cycles)
 
+    def batch_to_registers(self, matrix: np.ndarray) -> TransposeResult:
+        """Turn a batch of analog output rows into VR column layouts.
+
+        Equivalent to calling :meth:`vector_to_register` once per row of
+        ``matrix`` (shape ``(batch, width)``), in a single vectorised pass.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("batch_to_registers expects a (batch, width) array")
+        per_vector = float(-(-matrix.shape[1] // self.elements_per_cycle))
+        self.vector_count += matrix.shape[0]
+        return TransposeResult(values=matrix, cycles=matrix.shape[0] * per_vector)
+
     def matrix_transpose(self, matrix: np.ndarray) -> TransposeResult:
         """Transpose a matrix moving between the digital and analog domains."""
         matrix = np.asarray(matrix)

@@ -171,17 +171,24 @@ class DigitalComputeElement:
         count = rows if num_elements is None else int(num_elements)
         if count > rows:
             raise ExecutionError("cannot gather more elements than pipeline rows")
-        addresses = addr.read_vr(addr_vr)
-        for element in range(count):
-            address = int(addresses[element])
-            table_vr = table_base_vr + address // table.rows
-            table_row = address % table.rows
-            if table_vr >= table.num_vrs:
-                raise ExecutionError(
-                    f"address {address} exceeds the table stored in pipeline "
-                    f"{table_pipeline}"
-                )
-            dst.write_element(dst_vr, element, table.read_element(table_vr, table_row))
+        addresses = addr.read_vr(addr_vr)[:count].astype(np.int64)
+        table_vrs = table_base_vr + addresses // table.rows
+        table_rows = addresses % table.rows
+        if np.any(table_vrs >= table.num_vrs):
+            bad = int(addresses[np.argmax(table_vrs >= table.num_vrs)])
+            raise ExecutionError(
+                f"address {bad} exceeds the table stored in pipeline "
+                f"{table_pipeline}"
+            )
+        # Gather all elements of each referenced table register at once
+        # instead of reading the table one element at a time.
+        values = np.zeros(count, dtype=np.int64)
+        for vr in np.unique(table_vrs):
+            selected = table_vrs == vr
+            values[selected] = table.read_vr(int(vr))[table_rows[selected]]
+        updated = dst.read_vr(dst_vr)
+        updated[:count] = values
+        self._write_vr_raw(dst, dst_vr, updated)
         cost = WordOpCost("element_load", WordOpKind.ELEMENT, 1.0, dst.depth, count)
         self._charge(cost, dst)
         return cost
@@ -201,18 +208,24 @@ class DigitalComputeElement:
         addr = self.pipeline(addr_pipeline)
         table = self.pipeline(table_pipeline)
         count = src.rows if num_elements is None else int(num_elements)
-        addresses = addr.read_vr(addr_vr)
-        values = src.read_vr(src_vr)
-        for element in range(count):
-            address = int(addresses[element])
-            table_vr = table_base_vr + address // table.rows
-            table_row = address % table.rows
-            if table_vr >= table.num_vrs:
-                raise ExecutionError(
-                    f"address {address} exceeds the table stored in pipeline "
-                    f"{table_pipeline}"
-                )
-            table.write_element(table_vr, table_row, int(values[element]))
+        addresses = addr.read_vr(addr_vr)[:count].astype(np.int64)
+        values = src.read_vr(src_vr)[:count]
+        table_vrs = table_base_vr + addresses // table.rows
+        table_rows = addresses % table.rows
+        if np.any(table_vrs >= table.num_vrs):
+            bad = int(addresses[np.argmax(table_vrs >= table.num_vrs)])
+            raise ExecutionError(
+                f"address {bad} exceeds the table stored in pipeline "
+                f"{table_pipeline}"
+            )
+        # Scatter into each referenced table register in one shot.  Elements
+        # are processed in issue order, so duplicate addresses keep the
+        # last-writer-wins semantics of the element-at-a-time loop.
+        for vr in np.unique(table_vrs):
+            selected = np.flatnonzero(table_vrs == vr)
+            updated = table.read_vr(int(vr))
+            updated[table_rows[selected]] = values[selected]
+            self._write_vr_raw(table, int(vr), updated)
         cost = WordOpCost("element_store", WordOpKind.ELEMENT, 1.0, src.depth, count)
         self._charge(cost, src)
         return cost
@@ -231,6 +244,15 @@ class DigitalComputeElement:
         self._charge(cost, dst)
         return cost
 
+    @staticmethod
+    def _write_vr_raw(pipeline: BitPipeline, vr: int, values: np.ndarray) -> None:
+        """Overwrite a VR's stored bits without charging word-op costs.
+
+        Used by the element-wise operations, whose cost is charged once per
+        word op rather than per underlying row write.
+        """
+        pipeline.set_vr_bits(vr, values)
+
     # ------------------------------------------------------------------ #
     # Accounting                                                           #
     # ------------------------------------------------------------------ #
@@ -238,7 +260,10 @@ class DigitalComputeElement:
         pipeline.op_log.append(cost)
         if self.auto_cycles:
             self.ledger.charge(f"dce.{cost.name}", cycles=cost.unpipelined_cycles)
-        self.ledger.charge(f"dce.{cost.kind.value}", energy_pj=0.005 * cost.rows * cost.bits)
+        self.ledger.charge(
+            f"dce.{cost.kind.value}",
+            energy_pj=BitPipeline.WRITE_ENERGY_PJ * cost.rows * cost.bits,
+        )
 
     def charge_stream(self, costs: Sequence[WordOpCost], category: str = "dce.stream") -> float:
         """Charge a pipelined stream of operations (see Figure 10b)."""

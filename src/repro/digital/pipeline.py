@@ -33,6 +33,13 @@ __all__ = ["BitPipeline"]
 class BitPipeline:
     """A bit-pipelined stack of digital PUM arrays with vector registers.
 
+    Class attributes
+    ----------------
+    WRITE_ENERGY_PJ:
+        Energy per device write (one bit of one row), shared by every code
+        path that charges write/move energy so the gate-exact and batched
+        accounting stay in lockstep.
+
     Parameters
     ----------
     depth:
@@ -52,6 +59,9 @@ class BitPipeline:
         charges its un-pipelined latency.  The DCE/HCT schedulers disable
         this and charge pipelined stream totals instead.
     """
+
+    #: Energy per device write (pJ), one bit of one row.
+    WRITE_ENERGY_PJ = 0.005
 
     def __init__(
         self,
@@ -97,6 +107,20 @@ class BitPipeline:
         The pipeline's write port accepts one row per cycle (Section 4.1),
         so writing a full register costs ``rows`` cycles.
         """
+        values = np.asarray(values, dtype=np.int64)
+        self.set_vr_bits(vr, values)
+        cost = WordOpCost("write_vr", WordOpKind.WRITE, 1.0, self.depth, self.rows)
+        self._account(cost, energy_rows=values.shape[0], charge=charge)
+        return cost
+
+    def set_vr_bits(self, vr: int, values: Sequence[int]) -> None:
+        """Overwrite a VR's bit planes in one vectorised pass, charging nothing.
+
+        The single shared implementation of the bit-plane unpack: cost-free
+        state updates (element-wise ops, the batched reduction's accumulator
+        sync) call it directly, and :meth:`write_vr` layers the write cost on
+        top.  Rows beyond ``len(values)`` are cleared.
+        """
         self._check_vr(vr)
         values = np.asarray(values, dtype=np.int64)
         if values.shape[0] > self.rows:
@@ -105,13 +129,12 @@ class BitPipeline:
             )
         mask = np.int64((1 << self.depth) - 1) if self.depth < 64 else np.int64(-1)
         unsigned = values & mask
+        columns = np.zeros((self.depth, self.rows), dtype=bool)
+        columns[:, : values.shape[0]] = (
+            (unsigned[None, :] >> np.arange(self.depth, dtype=np.int64)[:, None]) & 1
+        ).astype(bool)
         for bit in range(self.depth):
-            column = np.zeros(self.rows, dtype=bool)
-            column[: values.shape[0]] = ((unsigned >> bit) & 1).astype(bool)
-            self.arrays[bit].write_column(vr, column)
-        cost = WordOpCost("write_vr", WordOpKind.WRITE, 1.0, self.depth, self.rows)
-        self._account(cost, energy_rows=values.shape[0], charge=charge)
-        return cost
+            self.arrays[bit].write_column(vr, columns[bit])
 
     def read_vr(self, vr: int, signed: bool = False) -> np.ndarray:
         """Read VR ``vr`` back as integers (two's complement if ``signed``)."""
@@ -420,7 +443,7 @@ class BitPipeline:
             rows = energy_rows if energy_rows is not None else self.rows
             # Writes/moves touch one device per bit per row.
             self.ledger.charge(
-                f"dce.{cost.kind.value}", energy_pj=0.005 * rows * cost.bits
+                f"dce.{cost.kind.value}", energy_pj=self.WRITE_ENERGY_PJ * rows * cost.bits
             )
         if charge and self.auto_cycles:
             self.ledger.charge(f"dce.{cost.name}", cycles=cost.unpipelined_cycles)
@@ -444,6 +467,15 @@ class BitPipeline:
             if vr not in used:
                 return vr
         raise CapacityError("no free vector register available for a temporary")
+
+    @property
+    def add_uops_per_bit(self) -> int:
+        """µops one ripple-carry ADD executes per bit position.
+
+        Used by the batched execution engine to reconstruct the cost of an
+        ADD stream without running the gate networks element by element.
+        """
+        return self._synth.uops_per_full_adder
 
     @property
     def total_uops(self) -> int:

@@ -1,16 +1,20 @@
-"""Runtime library: the Table 1 programmer-facing API."""
+"""Runtime library: the Table 1 programmer-facing API plus the serving pool."""
 
 from .allocator import MatrixPlacement, TilePlan, plan_matrix, precision_to_bits_per_cell
 from .apps import AesSession, CnnSession, LlmSession
+from .pool import DevicePool, PooledAllocation, Shard
 from .session import DarthPumDevice, MatrixAllocation
 
 __all__ = [
     "AesSession",
     "CnnSession",
+    "DevicePool",
     "LlmSession",
     "DarthPumDevice",
     "MatrixAllocation",
     "MatrixPlacement",
+    "PooledAllocation",
+    "Shard",
     "TilePlan",
     "plan_matrix",
     "precision_to_bits_per_cell",

@@ -1,0 +1,345 @@
+"""Multi-device serving pool: shard matrices and requests over many chips.
+
+One :class:`~repro.runtime.session.DarthPumDevice` exposes one chip.  A
+serving deployment runs many chips side by side, so the pool scales the
+Table 1 calls across ``N`` devices the same way multi-node machines scale by
+sharding work across identical compute tiles:
+
+* ``set_matrix`` places each matrix on the device chosen by the scheduling
+  policy (``"round_robin"`` or ``"least_loaded"``); a matrix too large for
+  any single chip is *row-sharded* across several devices, each holding a
+  contiguous band of rows.
+* ``exec_mvm`` / ``exec_mvm_batch`` split the input vector(s) along the
+  shard boundaries, run every shard on its own device (each shard's partial
+  result is a full-width ``(batch, cols)`` contribution), and sum the
+  partials -- the same map-reduce a multi-chip interconnect performs.
+* ``total_ledger`` aggregates the cost ledgers of every device and chip so
+  throughput/energy accounting stays a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ChipConfig
+from ..errors import AllocationError, QuantizationError
+from ..metrics import CostLedger, merge_ledgers
+from ..reram import NoiseConfig
+from .allocator import plan_matrix
+from .session import DarthPumDevice, MatrixAllocation
+
+__all__ = ["DevicePool", "PooledAllocation", "Shard"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous row band of a pooled matrix, pinned to one device."""
+
+    device_index: int
+    row_start: int
+    row_end: int
+
+    @property
+    def rows(self) -> int:
+        """Number of matrix rows held by this shard."""
+        return self.row_end - self.row_start
+
+
+@dataclass
+class PooledAllocation:
+    """A matrix stored across one or more devices of a :class:`DevicePool`.
+
+    Mirrors :class:`~repro.runtime.session.MatrixAllocation` one level up:
+    each shard pairs a :class:`Shard` (which device, which rows) with the
+    device-level allocation that actually holds the block.
+    """
+
+    allocation_id: int
+    shape: Tuple[int, int]
+    shards: List[Tuple[Shard, MatrixAllocation]] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of row shards the matrix was split into."""
+        return len(self.shards)
+
+    @property
+    def devices_used(self) -> List[int]:
+        """Indices of the devices holding at least one shard."""
+        return sorted({shard.device_index for shard, _ in self.shards})
+
+
+class DevicePool:
+    """Shards matrices and MVM traffic across ``N`` DARTH-PUM chips.
+
+    >>> import numpy as np
+    >>> from repro.runtime.pool import DevicePool
+    >>> pool = DevicePool(num_devices=2)
+    >>> matrix = np.eye(8, dtype=np.int64)
+    >>> allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+    >>> vectors = np.arange(16, dtype=np.int64).reshape(2, 8) % 4
+    >>> out = pool.exec_mvm_batch(allocation, vectors, input_bits=2)
+    >>> np.array_equal(out, vectors @ matrix)
+    True
+    >>> pool.set_matrix(np.eye(8, dtype=np.int64)).devices_used  # least loaded
+    [1]
+
+    Parameters
+    ----------
+    num_devices:
+        Number of chips in the pool.
+    config:
+        Optional :class:`~repro.core.config.ChipConfig` shared by every
+        device (defaults to the iso-area chip).
+    noise:
+        Optional noise configuration shared by every device.
+    policy:
+        ``"least_loaded"`` (default) places new matrices on the device with
+        the most free HCTs; ``"round_robin"`` cycles through the devices.
+    """
+
+    POLICIES = ("round_robin", "least_loaded")
+
+    def __init__(
+        self,
+        num_devices: int = 2,
+        config: Optional[ChipConfig] = None,
+        noise: Optional[NoiseConfig] = None,
+        policy: str = "least_loaded",
+    ) -> None:
+        if num_devices < 1:
+            raise AllocationError("a device pool needs at least one device")
+        if policy not in self.POLICIES:
+            raise AllocationError(
+                f"unknown scheduling policy {policy!r}; expected one of {self.POLICIES}"
+            )
+        self.policy = policy
+        self.devices: List[DarthPumDevice] = [
+            DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
+        ]
+        self._allocations: Dict[int, PooledAllocation] = {}
+        self._next_allocation = 0
+        self._round_robin_next = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling                                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        """Number of chips in the pool."""
+        return len(self.devices)
+
+    def free_hcts(self, device_index: int) -> int:
+        """Free HCTs on one device."""
+        chip = self.devices[device_index].chip
+        return chip.num_hcts - chip.allocated_hcts
+
+    def _hcts_for(self, shape: Tuple[int, int], element_size: int, precision: int) -> int:
+        """HCTs a matrix of ``shape`` needs on one device of this pool."""
+        hct_config = self.devices[0].chip.config.hct
+        return plan_matrix(shape, element_size, precision, hct_config).hcts_needed
+
+    # ------------------------------------------------------------------ #
+    # Table 1 calls, pool-wide                                             #
+    # ------------------------------------------------------------------ #
+    def set_matrix(
+        self,
+        matrix: np.ndarray,
+        element_size: int = 8,
+        precision: int = 0,
+    ) -> PooledAllocation:
+        """Store ``matrix``, sharding it across devices when necessary.
+
+        The matrix is first offered whole to the device the policy selects;
+        when no single device can hold it, it is split into the smallest
+        number of contiguous row bands such that every band fits some device
+        (bands are sized evenly, so the last band may be smaller when the
+        row count does not divide).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise QuantizationError("set_matrix expects a 2-D matrix")
+        rows, cols = matrix.shape
+
+        # Each shard occupies at least one HCT, so the total free capacity
+        # bounds the number of shards worth attempting (keeps the failure
+        # path linear instead of O(rows^2)).
+        max_shards = min(
+            rows, sum(self.free_hcts(index) for index in range(self.num_devices))
+        )
+        plan: Optional[List[Shard]] = None
+        for num_shards in range(1, max_shards + 1):
+            plan = self._plan_shards(matrix.shape, element_size, precision, num_shards)
+            if plan is not None:
+                break
+        if plan is None:
+            raise AllocationError(
+                f"matrix of shape {matrix.shape} does not fit this pool even "
+                f"when sharded one row band per device"
+            )
+
+        allocation = PooledAllocation(
+            allocation_id=self._next_allocation, shape=(rows, cols)
+        )
+        for shard in plan:
+            device = self.devices[shard.device_index]
+            block = matrix[shard.row_start: shard.row_end, :]
+            allocation.shards.append(
+                (shard, device.set_matrix(block, element_size=element_size,
+                                          precision=precision))
+            )
+        self._allocations[allocation.allocation_id] = allocation
+        self._next_allocation += 1
+        return allocation
+
+    def _plan_shards(
+        self,
+        shape: Tuple[int, int],
+        element_size: int,
+        precision: int,
+        num_shards: int,
+    ) -> Optional[List[Shard]]:
+        """Try to place ``num_shards`` even row bands; None when infeasible."""
+        rows, cols = shape
+        if num_shards > rows:
+            return None
+        band = -(-rows // num_shards)
+        free = [self.free_hcts(index) for index in range(self.num_devices)]
+        shards: List[Shard] = []
+        start = 0
+        while start < rows:
+            end = min(rows, start + band)
+            needed = self._hcts_for((end - start, cols), element_size, precision)
+            chosen: Optional[int] = None
+            if self.policy == "round_robin":
+                for offset in range(self.num_devices):
+                    index = (self._round_robin_next + len(shards) + offset) % self.num_devices
+                    if free[index] >= needed:
+                        chosen = index
+                        break
+            else:
+                candidates = [i for i in range(self.num_devices) if free[i] >= needed]
+                if candidates:
+                    chosen = max(candidates, key=lambda i: (free[i], -i))
+            if chosen is None:
+                return None
+            free[chosen] -= needed
+            shards.append(Shard(device_index=chosen, row_start=start, row_end=end))
+            start = end
+        if self.policy == "round_robin":
+            self._round_robin_next = (self._round_robin_next + len(shards)) % self.num_devices
+        return shards
+
+    def exec_mvm(
+        self,
+        allocation: PooledAllocation,
+        vector: np.ndarray,
+        input_bits: int = 8,
+    ) -> np.ndarray:
+        """Map-reduce a single MVM over the allocation's shards."""
+        vector = np.asarray(vector, dtype=np.int64)
+        rows, cols = allocation.shape
+        if vector.shape != (rows,):
+            raise QuantizationError(
+                f"input vector of shape {vector.shape} does not match matrix rows ({rows})"
+            )
+        result = np.zeros(cols, dtype=np.int64)
+        for shard, device_allocation in allocation.shards:
+            device = self.devices[shard.device_index]
+            result += device.exec_mvm(
+                device_allocation, vector[shard.row_start: shard.row_end],
+                input_bits=input_bits,
+            )
+        return result
+
+    def exec_mvm_batch(
+        self,
+        allocation: PooledAllocation,
+        vectors: np.ndarray,
+        input_bits: int = 8,
+    ) -> np.ndarray:
+        """Map-reduce a batch of MVMs over the allocation's shards.
+
+        Every shard's device executes its row band for the whole batch in
+        one :meth:`~repro.runtime.session.DarthPumDevice.exec_mvm_batch`
+        pass; the full-width partial results are then summed.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        rows, cols = allocation.shape
+        if vectors.shape[1] != rows:
+            raise QuantizationError(
+                f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
+            )
+        result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
+        for shard, device_allocation in allocation.shards:
+            device = self.devices[shard.device_index]
+            result += device.exec_mvm_batch(
+                device_allocation, vectors[:, shard.row_start: shard.row_end],
+                input_bits=input_bits,
+            )
+        return result
+
+    def exec_requests(
+        self,
+        requests: Sequence[Tuple[PooledAllocation, np.ndarray]],
+        input_bits: int = 8,
+    ) -> List[np.ndarray]:
+        """Serve a list of ``(allocation, vectors)`` requests.
+
+        Requests against matrices placed on different devices by the
+        scheduler run on independent chips; each request's vectors go through
+        the batched path.  Returns one result array per request, in order.
+        """
+        return [
+            self.exec_mvm_batch(allocation, vectors, input_bits=input_bits)
+            for allocation, vectors in requests
+        ]
+
+    def release(self, allocation: PooledAllocation) -> None:
+        """Free every shard of a pooled allocation."""
+        for shard, device_allocation in allocation.shards:
+            self.devices[shard.device_index].release(device_allocation)
+        self._allocations.pop(allocation.allocation_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / accounting                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def allocations(self) -> List[PooledAllocation]:
+        """All live pooled allocations."""
+        return list(self._allocations.values())
+
+    def utilization(self) -> List[float]:
+        """Fraction of HCTs allocated on each device."""
+        return [device.chip.utilization() for device in self.devices]
+
+    def total_ledger(self) -> CostLedger:
+        """Aggregated cost ledger across every chip in the pool.
+
+        Only the chip/tile ledgers are merged: the per-device runtime
+        ledgers (``device.ledger``) hold ``runtime.mvm*`` entries whose
+        cycles/energy are *copies* of charges already present in the tile
+        ledgers, so including them would double-count every MVM.
+        """
+        return merge_ledgers([device.chip.total_ledger() for device in self.devices])
+
+    def expected_mvm(self, allocation: PooledAllocation, vectors: np.ndarray) -> np.ndarray:
+        """Reference result reassembled from the shards' stored matrices."""
+        vectors = np.asarray(vectors, dtype=np.int64)
+        parts = []
+        for shard, device_allocation in sorted(
+            allocation.shards, key=lambda pair: pair[0].row_start
+        ):
+            assert device_allocation.matrix is not None
+            parts.append(device_allocation.matrix)
+        matrix = np.concatenate(parts, axis=0)
+        return vectors @ matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DevicePool(devices={self.num_devices}, policy={self.policy!r}, "
+            f"allocations={len(self._allocations)})"
+        )

@@ -36,7 +36,24 @@ __all__ = ["MatrixAllocation", "DarthPumDevice"]
 
 @dataclass
 class MatrixAllocation:
-    """A matrix stored across one or more HCTs, returned by ``set_matrix``."""
+    """A matrix stored across one or more HCTs, returned by ``set_matrix``.
+
+    The allocation records where each HCT-sized block of the matrix lives
+    (``placement``), which physical tiles hold it (``hct_indices``), and the
+    per-block analog handles needed to execute MVMs against it.  Programmers
+    never build one directly; they receive it from
+    :meth:`DarthPumDevice.set_matrix` and pass it back to ``exec_mvm`` /
+    ``exec_mvm_batch`` / ``update_row`` / ``release``.
+
+    >>> import numpy as np
+    >>> from repro import DarthPumDevice
+    >>> device = DarthPumDevice()
+    >>> allocation = device.set_matrix(np.eye(4, dtype=np.int64), element_size=4)
+    >>> allocation.shape
+    (4, 4)
+    >>> allocation.hcts_used
+    1
+    """
 
     allocation_id: int
     placement: MatrixPlacement
@@ -56,7 +73,26 @@ class MatrixAllocation:
 
 
 class DarthPumDevice:
-    """The programmer's handle to a DARTH-PUM chip."""
+    """The programmer's handle to a DARTH-PUM chip.
+
+    Wraps a :class:`~repro.core.chip.DarthPumChip` behind the Table 1
+    application-agnostic calls.  A typical session stores a matrix once and
+    executes many MVMs against it:
+
+    >>> import numpy as np
+    >>> from repro import DarthPumDevice
+    >>> device = DarthPumDevice()
+    >>> matrix = np.arange(12, dtype=np.int64).reshape(4, 3) % 5
+    >>> allocation = device.set_matrix(matrix, element_size=4, precision=0)
+    >>> vector = np.array([1, 2, 3, 4])
+    >>> np.array_equal(device.exec_mvm(allocation, vector, input_bits=3),
+    ...                vector @ matrix)
+    True
+
+    For serving-style traffic, :meth:`exec_mvm_batch` pushes a whole batch of
+    vectors through the chip in one arbiter pass (see the batched execution
+    engine in ``docs/architecture.md``).
+    """
 
     def __init__(
         self,
@@ -135,6 +171,53 @@ class DarthPumDevice:
             sub_result = hct.execute_mvm(handle, sub_vector, input_bits=input_bits)
             result[tile.col_start: tile.col_end] += sub_result.values
             self.ledger.charge("runtime.mvm", cycles=sub_result.optimized_cycles,
+                               energy_pj=sub_result.energy_pj)
+        return result
+
+    def exec_mvm_batch(
+        self,
+        allocation: MatrixAllocation,
+        vectors: np.ndarray,
+        input_bits: int = 8,
+    ) -> np.ndarray:
+        """execMVMBatch(): multiply a batch of vectors by the stored matrix.
+
+        ``vectors`` has shape ``(batch, rows)``; the result has shape
+        ``(batch, cols)``.  The whole batch is bit-sliced together and
+        scheduled through the ACE/DCE of every HCT holding a block of the
+        matrix in a single arbiter pass, so front-end, injection, and
+        (host-side) interpreter overheads are paid once per batch instead of
+        once per vector.  In the noise-free configuration the rows are
+        bit-identical to ``batch`` sequential :meth:`exec_mvm` calls.
+
+        >>> import numpy as np
+        >>> from repro import DarthPumDevice
+        >>> device = DarthPumDevice()
+        >>> matrix = np.arange(12, dtype=np.int64).reshape(4, 3) % 5
+        >>> allocation = device.set_matrix(matrix, element_size=4, precision=0)
+        >>> vectors = np.array([[1, 2, 3, 4], [4, 3, 2, 1], [0, 7, 0, 7]])
+        >>> out = device.exec_mvm_batch(allocation, vectors, input_bits=3)
+        >>> np.array_equal(out, vectors @ matrix)
+        True
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        rows, cols = allocation.shape
+        if vectors.shape[1] != rows:
+            raise QuantizationError(
+                f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
+            )
+        batch = vectors.shape[0]
+        result = np.zeros((batch, cols), dtype=np.int64)
+        if batch == 0:
+            return result
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            sub_vectors = vectors[:, tile.row_start: tile.row_end]
+            sub_result = hct.execute_mvm_batch(handle, sub_vectors, input_bits=input_bits)
+            result[:, tile.col_start: tile.col_end] += sub_result.values
+            self.ledger.charge("runtime.mvm_batch", cycles=sub_result.optimized_cycles,
                                energy_pj=sub_result.energy_pj)
         return result
 

@@ -204,30 +204,31 @@ class DarthPumAes:
         return pipeline.read_vr(0)[:16]
 
     def _mix_columns(self, state: np.ndarray) -> np.ndarray:
-        """MixColumns through the ACE: one 32-bit binary MVM per state column."""
-        output = np.zeros(16, dtype=np.int64)
-        for col in range(4):
-            # Block order: AES state column c is bytes p[4c..4c+3].
-            column_bytes = state[4 * col: 4 * col + 4]
-            input_bits = np.zeros(32, dtype=np.int64)
-            for byte_index in range(4):
-                for bit in range(8):
-                    input_bits[8 * byte_index + bit] = (int(column_bytes[byte_index]) >> bit) & 1
-            result = self.tile.execute_mvm(
-                self.mix_handle,
-                input_bits,
-                input_bits=1,
-                compensation=self.compensation,
-                active_adc_bits=2,
-            )
-            counts = result.values
-            self.kernel_cycles.mix_columns += result.optimized_cycles
-            parity = counts & 1  # the "subsequent XOR": only the LSB matters
-            for byte_index in range(4):
-                value = 0
-                for bit in range(8):
-                    value |= int(parity[8 * byte_index + bit]) << bit
-                output[4 * col + byte_index] = value
+        """MixColumns through the ACE: the four state columns as one batched MVM.
+
+        Block order: AES state column ``c`` is bytes ``state[4c..4c+3]``;
+        each column's 32 input bits form one row of a ``(4, 32)`` batch that
+        the ACE streams through the remapped bit matrix in a single arbiter
+        pass (previously four separate ``execute_mvm`` calls).
+        """
+        columns = np.asarray(state, dtype=np.int64).reshape(4, 4)
+        input_bits = (
+            (columns[:, :, None] >> np.arange(8, dtype=np.int64)[None, None, :]) & 1
+        ).reshape(4, 32)
+        result = self.tile.execute_mvm_batch(
+            self.mix_handle,
+            input_bits,
+            input_bits=1,
+            compensation=self.compensation,
+            active_adc_bits=2,
+        )
+        self.kernel_cycles.mix_columns += result.optimized_cycles
+        parity = result.values & 1  # the "subsequent XOR": only the LSB matters
+        output = (
+            (parity.reshape(4, 4, 8) << np.arange(8, dtype=np.int64)[None, None, :])
+            .sum(axis=2)
+            .reshape(16)
+        )
         # Parity extraction (AND with 1) in the DCE.
         pipeline = self.tile.pipeline(self.STATE_PIPELINE)
         pipeline.write_vr(0, output)

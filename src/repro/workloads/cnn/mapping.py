@@ -128,19 +128,17 @@ def run_conv_on_tile(
     handle = tile.set_matrix(q_weight.values, value_bits=weight_bits,
                              bits_per_cell=1, output_pipeline=0)
 
-    device_rows = []
-    for index in range(min(positions, q_patches.values.shape[0])):
-        vector = q_patches.values[index]
-        offset = int(-vector.min()) if vector.min() < 0 else 0
-        # The ACE applies non-negative bit-sliced inputs, so shift the input
-        # into the positive range and subtract the constant column afterwards
-        # (standard trick: x @ W = (x + o) @ W - o * sum(W, axis=0)).
-        shifted = (vector + offset).astype(np.int64)
-        result = tile.execute_mvm(handle, shifted, input_bits=activation_bits + 1)
-        correction = offset * q_weight.values.sum(axis=0)
-        device_rows.append(result.values - correction)
-    device = np.asarray(device_rows, dtype=float) * q_weight.scale * q_patches.scale
-    reference = patches[: len(device_rows)] @ weight_matrix
+    count = min(positions, q_patches.values.shape[0])
+    vectors = q_patches.values[:count].astype(np.int64)
+    # The ACE applies non-negative bit-sliced inputs, so shift each input
+    # into the positive range and subtract the constant column afterwards
+    # (standard trick: x @ W = (x + o) @ W - o * sum(W, axis=0)).
+    offsets = np.maximum(0, -vectors.min(axis=1))
+    shifted = vectors + offsets[:, None]
+    result = tile.execute_mvm_batch(handle, shifted, input_bits=activation_bits + 1)
+    corrections = offsets[:, None] * q_weight.values.sum(axis=0)[None, :]
+    device = (result.values - corrections).astype(float) * q_weight.scale * q_patches.scale
+    reference = patches[:count] @ weight_matrix
     tile.release_matrix(handle)
     return device, reference
 

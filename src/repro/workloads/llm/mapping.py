@@ -145,13 +145,14 @@ def run_projection_on_tile(
     q_w = quantize(weight, bits=weight_bits)
     q_x = quantize(activations, bits=activation_bits)
     handle = tile.set_matrix(q_w.values, value_bits=weight_bits, bits_per_cell=1)
-    rows = []
-    for token in range(q_x.values.shape[0]):
-        vector = q_x.values[token]
-        offset = int(-vector.min()) if vector.min() < 0 else 0
-        shifted = (vector + offset).astype(np.int64)
-        result = tile.execute_mvm(handle, shifted, input_bits=activation_bits + 1)
-        rows.append(result.values - offset * q_w.values.sum(axis=0))
+    # All tokens go through the tile as one batched MVM: shift each token's
+    # activations into the non-negative range, push the whole batch through
+    # the ACE/DCE in one arbiter pass, then undo the per-token offsets.
+    vectors = q_x.values.astype(np.int64)
+    offsets = np.maximum(0, -vectors.min(axis=1))
+    shifted = vectors + offsets[:, None]
+    result = tile.execute_mvm_batch(handle, shifted, input_bits=activation_bits + 1)
+    corrections = offsets[:, None] * q_w.values.sum(axis=0)[None, :]
     tile.release_matrix(handle)
-    device = np.asarray(rows, dtype=float) * q_w.scale * q_x.scale
+    device = (result.values - corrections).astype(float) * q_w.scale * q_x.scale
     return device, activations @ weight

@@ -1,0 +1,134 @@
+"""DevicePool scheduling, sharding, and accounting edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ChipConfig, HctConfig
+from repro.errors import AllocationError, QuantizationError
+from repro.runtime import DevicePool
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+def tiny_pool(num_devices=3, num_hcts=3, policy="least_loaded"):
+    """A pool of small chips so sharding kicks in at test-friendly sizes."""
+    config = ChipConfig(hct=HctConfig.small(), num_hcts=num_hcts)
+    return DevicePool(num_devices=num_devices, config=config, policy=policy)
+
+
+class TestScheduling:
+    def test_least_loaded_spreads_matrices(self):
+        pool = tiny_pool()
+        first = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        second = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        third = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        assert first.devices_used == [0]
+        assert second.devices_used == [1]
+        assert third.devices_used == [2]
+
+    def test_round_robin_cycles_devices(self):
+        pool = tiny_pool(num_devices=2, policy="round_robin")
+        placements = [
+            pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4).devices_used
+            for _ in range(4)
+        ]
+        assert placements == [[0], [1], [0], [1]]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(AllocationError):
+            tiny_pool(policy="random")
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(AllocationError):
+            DevicePool(num_devices=0)
+
+
+class TestSharding:
+    def test_matrix_larger_than_one_chip_is_sharded(self, rng):
+        pool = tiny_pool()
+        # Needs 7 small HCTs in one piece; each chip has only 3.
+        matrix = rng.integers(-8, 8, size=(100, 30))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        assert allocation.num_shards > 1
+        assert len(allocation.devices_used) > 1
+        # Shards tile the row range contiguously and without overlap.
+        bands = sorted((s.row_start, s.row_end) for s, _ in allocation.shards)
+        assert bands[0][0] == 0 and bands[-1][1] == 100
+        for (_, end), (start, _) in zip(bands, bands[1:]):
+            assert end == start
+
+    def test_uneven_shards_stay_exact(self, rng):
+        pool = tiny_pool()
+        matrix = rng.integers(-8, 8, size=(100, 30))  # 100 % 3 != 0
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        sizes = {shard.rows for shard, _ in allocation.shards}
+        assert len(sizes) > 1  # genuinely uneven bands
+        vectors = rng.integers(0, 8, size=(6, 100))
+        result = pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+        assert np.array_equal(result, vectors @ matrix)
+        single = pool.exec_mvm(allocation, vectors[0], input_bits=3)
+        assert np.array_equal(single, vectors[0] @ matrix)
+
+    def test_expected_mvm_reassembles_shards(self, rng):
+        pool = tiny_pool()
+        matrix = rng.integers(-8, 8, size=(50, 20))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        vectors = rng.integers(0, 8, size=(2, 50))
+        assert np.array_equal(pool.expected_mvm(allocation, vectors), vectors @ matrix)
+
+    def test_oversized_matrix_rejected(self, rng):
+        pool = tiny_pool(num_devices=1, num_hcts=1)
+        matrix = rng.integers(-8, 8, size=(200, 200))
+        with pytest.raises(AllocationError):
+            pool.set_matrix(matrix, element_size=4, precision=0)
+
+    def test_release_returns_capacity(self, rng):
+        pool = tiny_pool()
+        matrix = rng.integers(-8, 8, size=(100, 30))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        assert any(u > 0 for u in pool.utilization())
+        pool.release(allocation)
+        assert pool.utilization() == [0.0, 0.0, 0.0]
+        assert pool.allocations == []
+
+
+class TestServing:
+    def test_exec_requests_serves_in_order(self, rng):
+        pool = tiny_pool(num_devices=2)
+        a = rng.integers(-8, 8, size=(8, 8))
+        b = rng.integers(-8, 8, size=(8, 4))
+        alloc_a = pool.set_matrix(a, element_size=4)
+        alloc_b = pool.set_matrix(b, element_size=4)
+        vec_a = rng.integers(0, 8, size=(3, 8))
+        vec_b = rng.integers(0, 8, size=(2, 8))
+        results = pool.exec_requests([(alloc_a, vec_a), (alloc_b, vec_b)], input_bits=3)
+        assert np.array_equal(results[0], vec_a @ a)
+        assert np.array_equal(results[1], vec_b @ b)
+
+    def test_shape_mismatch_rejected(self, rng):
+        pool = tiny_pool(num_devices=1)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        with pytest.raises(QuantizationError):
+            pool.exec_mvm(allocation, np.zeros(9, dtype=np.int64))
+        with pytest.raises(QuantizationError):
+            pool.exec_mvm_batch(allocation, np.zeros((2, 9), dtype=np.int64))
+
+    def test_total_ledger_aggregates_devices(self, rng):
+        pool = tiny_pool()
+        matrix = rng.integers(-8, 8, size=(100, 30))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        pool.exec_mvm_batch(allocation, rng.integers(0, 8, size=(4, 100)), input_bits=3)
+        snapshot = pool.total_ledger().snapshot()
+        assert snapshot.cycles > 0
+        assert snapshot.energy_pj > 0
+        # No double counting: the pool ledger is exactly the chips' ledgers
+        # (device.ledger holds runtime-level *copies* of the same charges).
+        chip_energy = sum(
+            d.chip.total_ledger().snapshot().energy_pj for d in pool.devices
+        )
+        assert snapshot.energy_pj == pytest.approx(chip_energy)
