@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -28,5 +28,19 @@ docs-check:
 # The batched-engine acceptance gate (>=5x over looped exec_mvm).
 batch-bench:
 	$(PY) -m pytest benchmarks/test_batch_throughput.py -q
+
+# The serving acceptance gate (>=3x over request-at-a-time at 16+ concurrent).
+# Writes benchmarks/artifacts/serving_throughput.json (the CI artifact).
+serve-bench:
+	$(PY) -m pytest benchmarks/test_serving_throughput.py -q
+
+# Lint/format gate (needs ruff: pip install -r requirements-dev.txt).
+lint:
+	ruff check .
+	ruff format --check .
+
+# Coverage gate (needs pytest-cov: pip install -r requirements-dev.txt).
+coverage:
+	$(PY) -m pytest tests benchmarks -q --cov=repro --cov-report=term --cov-fail-under=80
 
 all: test doctest docs-check

@@ -1,0 +1,124 @@
+"""Serving throughput: dynamic batching vs request-at-a-time execution.
+
+The acceptance gate for the serving front-end: at an offered load of 16+
+concurrent single-vector requests, the :class:`~repro.runtime.server.PumServer`
+(which coalesces compatible requests into ``exec_mvm_batch`` calls) must
+achieve at least 3x the throughput of serving the same requests one
+``exec_mvm`` at a time, while remaining bit-identical in the noise-free
+configuration.
+
+The measured numbers are also written to
+``benchmarks/artifacts/serving_throughput.json`` so CI can upload the perf
+trajectory as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import DevicePool, PumServer
+
+CONCURRENT_REQUESTS = 32  # offered load; the gate requires >= 16
+MATRIX_SHAPE = (64, 64)
+INPUT_BITS = 8
+MAX_BATCH = 16
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="module")
+def offered_load():
+    """A fixed request stream plus matching sequential and served pools."""
+    rng = np.random.default_rng(41)
+    matrix = rng.integers(-100, 100, size=MATRIX_SHAPE)
+    vectors = rng.integers(0, 256, size=(CONCURRENT_REQUESTS, MATRIX_SHAPE[0]))
+    return matrix, vectors
+
+
+def run_sequential(matrix, vectors):
+    """Request-at-a-time baseline: one ``exec_mvm`` per arriving request."""
+    pool = DevicePool(num_devices=2)
+    allocation = pool.set_matrix(matrix, element_size=8, precision=0)
+    pool.exec_mvm(allocation, vectors[0], input_bits=INPUT_BITS)  # warm-up
+    start = time.perf_counter()
+    results = np.stack([
+        pool.exec_mvm(allocation, vector, input_bits=INPUT_BITS)
+        for vector in vectors
+    ])
+    return results, time.perf_counter() - start
+
+
+def run_served(matrix, vectors):
+    """The same offered load through the dynamic-batching server."""
+    server = PumServer(num_devices=2, max_batch=MAX_BATCH, max_wait_ticks=2)
+    server.register_matrix("m", matrix, element_size=8)
+    warm = server.submit("m", vectors[0], input_bits=INPUT_BITS)
+    server.run_until_idle()
+    assert warm.result().ok
+    start = time.perf_counter()
+    futures = [
+        server.submit("m", vector, input_bits=INPUT_BITS) for vector in vectors
+    ]
+    server.run_until_idle()
+    results = np.stack([future.result().result for future in futures])
+    return results, time.perf_counter() - start, server
+
+
+def test_serving_beats_request_at_a_time_by_3x(offered_load):
+    matrix, vectors = offered_load
+    sequential, sequential_seconds = run_sequential(matrix, vectors)
+    served, served_seconds, server = run_served(matrix, vectors)
+
+    # Bit-identical in the noise-free configuration.
+    assert np.array_equal(served, sequential)
+    assert np.array_equal(served, vectors @ matrix)
+
+    speedup = sequential_seconds / max(served_seconds, 1e-12)
+    summary = server.stats.summary()
+    print(
+        f"\nserving {CONCURRENT_REQUESTS} concurrent requests: "
+        f"sequential {sequential_seconds * 1e3:.1f} ms, "
+        f"served {served_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x, "
+        f"mean batch fill {summary['mean_batch_fill']:.1f}"
+    )
+
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "concurrent_requests": CONCURRENT_REQUESTS,
+        "matrix_shape": list(MATRIX_SHAPE),
+        "max_batch": MAX_BATCH,
+        "sequential_seconds": sequential_seconds,
+        "served_seconds": served_seconds,
+        "speedup": speedup,
+        "requests_per_second_sequential": CONCURRENT_REQUESTS / sequential_seconds,
+        "requests_per_second_served": CONCURRENT_REQUESTS / served_seconds,
+        "telemetry": summary,
+    }
+    path = ARTIFACTS_DIR / "serving_throughput.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    assert summary["mean_batch_fill"] > 1.0  # batching actually happened
+    assert speedup >= 3.0
+
+
+def test_serving_throughput_benchmark(offered_load, benchmark):
+    """Report served requests/second for the throughput dashboards."""
+    matrix, vectors = offered_load
+    server = PumServer(num_devices=2, max_batch=MAX_BATCH, max_wait_ticks=2)
+    server.register_matrix("m", matrix, element_size=8)
+
+    def serve_wave():
+        futures = [
+            server.submit("m", vector, input_bits=INPUT_BITS) for vector in vectors
+        ]
+        server.run_until_idle()
+        return [future.result() for future in futures]
+
+    responses = benchmark(serve_wave)
+    assert len(responses) == CONCURRENT_REQUESTS
+    assert all(response.ok for response in responses)

@@ -55,7 +55,7 @@ def main() -> None:
 
     baseline = model_for("baseline", "llm_encoder").evaluate(profile)
     darth = model_for("darth_pum", "llm_encoder").evaluate(profile)
-    print(f"\nmodelled speedup over the analog+CPU baseline: "
+    print("\nmodelled speedup over the analog+CPU baseline: "
           f"{darth.speedup_over(baseline):.1f}x (paper: 40.8x)")
     print(f"modelled energy savings: {darth.energy_savings_over(baseline):.1f}x (paper: 110.7x)")
 

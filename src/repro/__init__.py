@@ -19,9 +19,10 @@ from .core.config import ChipConfig, HctConfig
 from .core.hct import HybridComputeTile
 from .metrics import CostLedger
 from .runtime.pool import DevicePool
+from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ChipConfig",
@@ -31,5 +32,7 @@ __all__ = [
     "DevicePool",
     "HctConfig",
     "HybridComputeTile",
+    "PumServer",
+    "ThreadedServerDriver",
     "__version__",
 ]

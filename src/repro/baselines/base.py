@@ -18,7 +18,7 @@ figures only ever use ratios between architectures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..workloads.profile import WorkloadProfile
 

@@ -22,7 +22,6 @@ from typing import Dict, Optional
 from ..core.area import AreaModel, Table3
 from ..core.config import HctConfig
 from ..errors import ConfigurationError
-from ..workloads.profile import WorkloadProfile
 from .unit_model import UnitBasedModel
 
 __all__ = [

@@ -15,7 +15,7 @@ handful of efficiency factors that were calibrated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..workloads.profile import WorkloadProfile

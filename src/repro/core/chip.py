@@ -11,13 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-import numpy as np
-
 from ..errors import AllocationError, CapacityError
 from ..metrics import CostLedger, merge_ledgers
 from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
 from .area import AreaModel, Table3
-from .config import ChipConfig, HctConfig
+from .config import ChipConfig
 from .frontend import FrontEnd
 from .hct import HybridComputeTile
 

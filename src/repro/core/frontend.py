@@ -10,7 +10,7 @@ end only issues one instruction per MVM instead of the hundreds of reduction
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import IsaError
 from ..isa.instructions import Instruction, InstructionClass

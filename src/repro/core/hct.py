@@ -36,7 +36,7 @@ from ..analog.ace import (
 from ..analog.compensation import ParasiticCompensation
 from ..digital.dce import DigitalComputeElement
 from ..digital.logic import get_family
-from ..digital.microops import WordOpCost, stream_cycles
+from ..digital.microops import WordOpCost
 from ..errors import AllocationError, CapacityError, ExecutionError
 from ..metrics import CostLedger
 from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
@@ -505,7 +505,6 @@ class HybridComputeTile:
         write = float(rows_per_write)
 
         add_costs = [c for c in reduce_costs if c.name == "add"]
-        write_costs = [c for c in reduce_costs if c.name == "write_vr"]
         add_uops_per_bit = add_costs[0].uops_per_bit if add_costs else 12.0
         depth = self.config.dce.pipeline_depth
 

@@ -10,7 +10,7 @@ expensive copy+mask+AND sequence RACER would otherwise need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

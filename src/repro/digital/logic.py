@@ -13,7 +13,7 @@ these primitives by :mod:`repro.digital.alu`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping
 
 import numpy as np

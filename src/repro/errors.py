@@ -23,6 +23,18 @@ class AllocationError(CapacityError):
     """A requested allocation (vACore, matrix, pipeline) cannot be satisfied."""
 
 
+class NoDevicesError(AllocationError):
+    """A pool operation was attempted with zero devices configured."""
+
+
+class SchedulerError(ReproError):
+    """The serving scheduler was configured or driven inconsistently."""
+
+
+class AdmissionError(SchedulerError):
+    """A request was refused admission (queue full, unknown matrix, ...)."""
+
+
 class MappingError(ReproError):
     """A workload cannot be mapped onto the requested hardware resources."""
 

@@ -24,6 +24,7 @@ __all__ = [
     "CostSnapshot",
     "merge_ledgers",
     "geometric_mean",
+    "percentile",
 ]
 
 #: Cycles per second of the modelled DARTH-PUM clock (Section 6: 1 GHz).
@@ -134,6 +135,29 @@ def merge_ledgers(ledgers: Iterable[CostLedger]) -> CostLedger:
     for ledger in ledgers:
         total.merge(ledger)
     return total
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``, linearly interpolated.
+
+    Used by the serving telemetry for p50/p95/p99 latency summaries; kept
+    here (pure Python, no numpy) so ledgers and telemetry share one home.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    >>> percentile([10], 99)
+    10.0
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile() requires at least one value")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile() expects q in [0, 100]")
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 def geometric_mean(values: Iterable[float]) -> float:

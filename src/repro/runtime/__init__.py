@@ -1,21 +1,61 @@
-"""Runtime library: the Table 1 programmer-facing API plus the serving pool."""
+"""Runtime library: the Table 1 programmer-facing API, pool, and server."""
 
 from .allocator import MatrixPlacement, TilePlan, plan_matrix, precision_to_bits_per_cell
-from .apps import AesSession, CnnSession, LlmSession
-from .pool import DevicePool, PooledAllocation, Shard
+from .apps import (
+    AesSession,
+    CnnSession,
+    LlmSession,
+    serve_aes_mixcolumns,
+    serve_cnn_conv,
+    serve_llm_projection,
+)
+from .pool import (
+    CacheAffinityPolicy,
+    DevicePool,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    PooledAllocation,
+    RoundRobinPolicy,
+    Shard,
+    make_placement_policy,
+)
+from .server import (
+    BatchingConfig,
+    PumServer,
+    Request,
+    Response,
+    ServerFuture,
+    ServingStats,
+    ThreadedServerDriver,
+)
 from .session import DarthPumDevice, MatrixAllocation
 
 __all__ = [
     "AesSession",
+    "BatchingConfig",
+    "CacheAffinityPolicy",
     "CnnSession",
-    "DevicePool",
-    "LlmSession",
     "DarthPumDevice",
+    "DevicePool",
+    "LeastLoadedPolicy",
+    "LlmSession",
     "MatrixAllocation",
     "MatrixPlacement",
+    "PlacementPolicy",
     "PooledAllocation",
+    "PumServer",
+    "Request",
+    "Response",
+    "RoundRobinPolicy",
+    "ServerFuture",
+    "ServingStats",
     "Shard",
+    "ThreadedServerDriver",
     "TilePlan",
+    "make_placement_policy",
     "plan_matrix",
     "precision_to_bits_per_cell",
+    "serve_aes_mixcolumns",
+    "serve_cnn_conv",
+    "serve_llm_projection",
 ]

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-import numpy as np
-
 from ..core.config import HctConfig
 from ..errors import AllocationError
 
@@ -94,8 +92,6 @@ def plan_matrix(
     arrays_per_block = ace.num_arrays
     # A block of (block_rows x block_cols) needs row_tiles*col_tiles*slices arrays.
     max_col_tiles = max(1, arrays_per_block // slices)
-    # Favour tall blocks (more rows) since MVM outputs are per-column.
-    block_rows_tiles = max(1, max_col_tiles)
     # Search the largest (row_tiles, col_tiles) split that fits in one ACE.
     best_rows, best_cols = 1, 1
     for row_tiles in range(1, arrays_per_block + 1):

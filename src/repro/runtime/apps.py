@@ -20,21 +20,37 @@ rather than the bit-level simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from ..core.config import HctConfig
 from ..core.hct import HybridComputeTile
-from ..errors import MappingError
-from ..workloads.aes.mapping import DarthPumAes
+from ..errors import AdmissionError, MappingError
+from ..workloads.aes.mapping import (
+    DarthPumAes,
+    bits_to_columns,
+    columns_to_bits,
+    mixcolumns_bit_matrix,
+)
 from ..workloads.aes.reference import decrypt_block
+from ..workloads.cnn.layers import Conv2d
 from ..workloads.cnn.mapping import CnnMapping, NoisyInferenceEngine
+from ..workloads.cnn.quantize import quantize
 from ..workloads.cnn.resnet import ResNet20
+from ..workloads.cnn.tensors import im2col
 from ..workloads.llm.encoder import EncoderConfig, TransformerEncoder
 from ..workloads.llm.mapping import LlmMapping
+from .server import PumServer
 
-__all__ = ["AesSession", "CnnSession", "LlmSession"]
+__all__ = [
+    "AesSession",
+    "CnnSession",
+    "LlmSession",
+    "serve_aes_mixcolumns",
+    "serve_cnn_conv",
+    "serve_llm_projection",
+]
 
 
 @dataclass
@@ -163,3 +179,147 @@ class LlmSession:
         if tokens.shape != expected:
             raise MappingError(f"expected input of shape {expected}, got {tokens.shape}")
         return self._encoder.forward(tokens, integer_kernels=self._integer_kernels)
+
+
+# ---------------------------------------------------------------------- #
+# Serving entry points: the three paper workloads through the PumServer   #
+# ---------------------------------------------------------------------- #
+def _serve_all(
+    server: PumServer,
+    name: str,
+    vectors: np.ndarray,
+    input_bits: int,
+) -> np.ndarray:
+    """Submit one request per vector and gather the results, in order.
+
+    Submission happens in waves no larger than the server's queue capacity
+    so an arbitrarily large workload never trips admission control against
+    itself; a request that still ends rejected/shed/failed (competing
+    traffic, deadline pressure, a chip fault) raises a descriptive error
+    instead of surfacing as ``None`` deep inside a stack operation.
+    """
+    results = []
+    wave = server.batching.queue_capacity
+    for start in range(0, len(vectors), wave):
+        futures = [
+            server.submit(name, row, input_bits=input_bits)
+            for row in vectors[start: start + wave]
+        ]
+        server.run_until_idle()
+        for future in futures:
+            response = future.result()
+            if not response.ok:
+                raise AdmissionError(
+                    f"request {response.request_id} against matrix {name!r} "
+                    f"ended {response.status}"
+                    + (f" ({response.error})" if response.error else "")
+                )
+            results.append(response.result)
+    return np.stack(results)
+
+
+def _submit_shifted(
+    server: PumServer,
+    name: str,
+    vectors: np.ndarray,
+    column_sums: np.ndarray,
+    input_bits: int,
+) -> np.ndarray:
+    """Push signed vectors through the server's non-negative MVM path.
+
+    The ACE applies non-negative bit-sliced inputs, so each vector is
+    shifted into the positive range before submission and the constant
+    column contribution is subtracted afterwards (the standard
+    ``x @ W = (x + o) @ W - o * sum(W, axis=0)`` trick the on-tile
+    mappings already use).  One request per vector -- the server's
+    scheduler, not the caller, decides the batches.
+    """
+    vectors = np.asarray(vectors, dtype=np.int64)
+    offsets = np.maximum(0, -vectors.min(axis=1))
+    shifted = vectors + offsets[:, None]
+    raw = _serve_all(server, name, shifted, input_bits)
+    return raw - offsets[:, None] * column_sums[None, :]
+
+
+def serve_aes_mixcolumns(
+    server: PumServer,
+    columns: np.ndarray,
+    matrix_name: str = "aes.mixcolumns",
+) -> np.ndarray:
+    """AES MixColumns for ``(n, 4)`` state columns through the server.
+
+    Registers the 32x32 GF(2) MixColumns bit matrix once (transposed, as
+    the runtime computes ``x @ M``), submits one 32-bit request per column,
+    and extracts the output parity bits -- the same mapping
+    :class:`~repro.workloads.aes.mapping.DarthPumAes` uses on a single
+    tile, but scheduled across the pool by dynamic batching.
+    """
+    if matrix_name not in server.matrix_names:
+        server.register_matrix(
+            matrix_name, mixcolumns_bit_matrix().T.copy(), element_size=1
+        )
+    bit_vectors = columns_to_bits(columns)
+    parity = _serve_all(server, matrix_name, bit_vectors, input_bits=1) & 1
+    return bits_to_columns(parity)
+
+
+def serve_cnn_conv(
+    server: PumServer,
+    conv: Conv2d,
+    image: np.ndarray,
+    positions: int = 8,
+    weight_bits: int = 6,
+    activation_bits: int = 6,
+    matrix_name: str = "cnn.conv",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Serve ``positions`` output positions of a convolution.
+
+    The quantised Toeplitz weight matrix is registered once; every im2col
+    patch becomes one single-vector request.  Returns
+    ``(device_result, reference_result)`` as dequantised floats, mirroring
+    :func:`~repro.workloads.cnn.mapping.run_conv_on_tile`.
+    """
+    image = np.asarray(image)
+    if image.ndim != 4:
+        raise MappingError("serve_cnn_conv expects an NCHW image batch")
+    patches, _, _ = im2col(image, conv.kernel, conv.stride, conv.padding)
+    weight_matrix = conv.weight.reshape(conv.out_channels, -1).T
+    q_weight = quantize(weight_matrix, bits=weight_bits)
+    q_patches = quantize(patches[:positions], bits=activation_bits)
+    server.register_matrix(matrix_name, q_weight.values, element_size=weight_bits)
+    corrected = _submit_shifted(
+        server, matrix_name, q_patches.values,
+        q_weight.values.sum(axis=0), input_bits=activation_bits + 1,
+    )
+    device = corrected.astype(float) * q_weight.scale * q_patches.scale
+    count = corrected.shape[0]
+    return device, patches[:count] @ weight_matrix
+
+
+def serve_llm_projection(
+    server: PumServer,
+    weight: np.ndarray,
+    activations: np.ndarray,
+    weight_bits: int = 6,
+    activation_bits: int = 6,
+    matrix_name: str = "llm.projection",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Serve a ``(token, hidden)`` projection, one request per token.
+
+    Mirrors :func:`~repro.workloads.llm.mapping.run_projection_on_tile`
+    but lets the server's scheduler coalesce the token stream into batches.
+    Returns ``(device_result, reference_result)`` as dequantised floats.
+    """
+    weight = np.asarray(weight, dtype=float)
+    activations = np.asarray(activations, dtype=float)
+    if activations.ndim != 2 or weight.ndim != 2:
+        raise MappingError("serve_llm_projection expects 2-D activations and weights")
+    q_weight = quantize(weight, bits=weight_bits)
+    q_activations = quantize(activations, bits=activation_bits)
+    server.register_matrix(matrix_name, q_weight.values, element_size=weight_bits)
+    corrected = _submit_shifted(
+        server, matrix_name, q_activations.values,
+        q_weight.values.sum(axis=0), input_bits=activation_bits + 1,
+    )
+    device = corrected.astype(float) * q_weight.scale * q_activations.scale
+    return device, activations @ weight

@@ -5,10 +5,11 @@ serving deployment runs many chips side by side, so the pool scales the
 Table 1 calls across ``N`` devices the same way multi-node machines scale by
 sharding work across identical compute tiles:
 
-* ``set_matrix`` places each matrix on the device chosen by the scheduling
-  policy (``"round_robin"`` or ``"least_loaded"``); a matrix too large for
-  any single chip is *row-sharded* across several devices, each holding a
-  contiguous band of rows.
+* ``set_matrix`` places each matrix on the device chosen by the pluggable
+  :class:`PlacementPolicy` (``"round_robin"``, ``"least_loaded"``, or
+  ``"cache_affinity"``); a matrix too large for any single chip is
+  *row-sharded* across several devices, each holding a contiguous band of
+  rows.
 * ``exec_mvm`` / ``exec_mvm_batch`` split the input vector(s) along the
   shard boundaries, run every shard on its own device (each shard's partial
   result is a full-width ``(batch, cols)`` contribution), and sum the
@@ -20,18 +21,27 @@ sharding work across identical compute tiles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.config import ChipConfig
-from ..errors import AllocationError, QuantizationError
+from ..errors import AllocationError, NoDevicesError, QuantizationError
 from ..metrics import CostLedger, merge_ledgers
 from ..reram import NoiseConfig
 from .allocator import plan_matrix
 from .session import DarthPumDevice, MatrixAllocation
 
-__all__ = ["DevicePool", "PooledAllocation", "Shard"]
+__all__ = [
+    "CacheAffinityPolicy",
+    "DevicePool",
+    "LeastLoadedPolicy",
+    "PlacementPolicy",
+    "PooledAllocation",
+    "RoundRobinPolicy",
+    "Shard",
+    "make_placement_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +82,126 @@ class PooledAllocation:
         return sorted({shard.device_index for shard, _ in self.shards})
 
 
+class PlacementPolicy:
+    """Strategy object deciding which device receives each matrix shard.
+
+    ``choose`` is called once per row band while :meth:`DevicePool.set_matrix`
+    plans a placement.  It sees the *trial* free-HCT state (``free``), the HCT
+    cost of the band (``needed``), and the devices already holding earlier
+    shards of the same allocation (``placed_devices``, which also carries any
+    caller-supplied affinity hint).  Returning ``None`` means "no device fits",
+    which makes the pool retry with more, smaller bands.
+
+    ``committed`` is invoked once a full plan succeeds so stateful policies
+    (round-robin's cursor) only advance on placements that actually happen.
+    """
+
+    name = "base"
+
+    def choose(
+        self,
+        free: Sequence[int],
+        needed: int,
+        placed_devices: Sequence[int],
+    ) -> Optional[int]:
+        """Pick a device index with ``free[index] >= needed``, or ``None``."""
+        raise NotImplementedError
+
+    def committed(self, plan: Sequence["Shard"], num_devices: int) -> None:
+        """Observe a successfully committed placement (no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Cycle through the devices, skipping any that cannot hold the band."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self,
+        free: Sequence[int],
+        needed: int,
+        placed_devices: Sequence[int],
+    ) -> Optional[int]:
+        num_devices = len(free)
+        for offset in range(num_devices):
+            index = (self._cursor + len(placed_devices) + offset) % num_devices
+            if free[index] >= needed:
+                return index
+        return None
+
+    def committed(self, plan: Sequence[Shard], num_devices: int) -> None:
+        self._cursor = (self._cursor + len(plan)) % num_devices
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Place every band on the device with the most free HCTs."""
+
+    name = "least_loaded"
+
+    def choose(
+        self,
+        free: Sequence[int],
+        needed: int,
+        placed_devices: Sequence[int],
+    ) -> Optional[int]:
+        candidates = [i for i in range(len(free)) if free[i] >= needed]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda i: (free[i], -i))
+
+
+class CacheAffinityPolicy(PlacementPolicy):
+    """Prefer devices already holding shards of the same allocation.
+
+    Keeping an allocation's shards on as few chips as possible means a
+    request against it fans out to fewer devices (fewer partial-sum
+    reductions) and re-registration of an updated matrix lands where the
+    ReRAM arrays are already programmed.  Falls back to least-loaded when no
+    preferred device fits.
+    """
+
+    name = "cache_affinity"
+
+    def choose(
+        self,
+        free: Sequence[int],
+        needed: int,
+        placed_devices: Sequence[int],
+    ) -> Optional[int]:
+        # Affinity hints may be stale (e.g. recorded before the pool was
+        # reconfigured); out-of-range indices are ignored, not an error.
+        preferred = [
+            i for i in dict.fromkeys(placed_devices)
+            if 0 <= i < len(free) and free[i] >= needed
+        ]
+        if preferred:
+            return max(preferred, key=lambda i: (free[i], -i))
+        return LeastLoadedPolicy.choose(self, free, needed, placed_devices)
+
+
+def make_placement_policy(policy: Union[str, PlacementPolicy]) -> PlacementPolicy:
+    """Resolve a policy name (or pass through a policy instance)."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    factories = {
+        "round_robin": RoundRobinPolicy,
+        "least_loaded": LeastLoadedPolicy,
+        "cache_affinity": CacheAffinityPolicy,
+    }
+    if policy not in factories:
+        raise AllocationError(
+            f"unknown scheduling policy {policy!r}; expected one of "
+            f"{tuple(factories)} or a PlacementPolicy instance"
+        )
+    return factories[policy]()
+
+
 class DevicePool:
     """Shards matrices and MVM traffic across ``N`` DARTH-PUM chips.
 
@@ -97,32 +227,37 @@ class DevicePool:
     noise:
         Optional noise configuration shared by every device.
     policy:
+        A policy name or a :class:`PlacementPolicy` instance.
         ``"least_loaded"`` (default) places new matrices on the device with
-        the most free HCTs; ``"round_robin"`` cycles through the devices.
+        the most free HCTs; ``"round_robin"`` cycles through the devices;
+        ``"cache_affinity"`` keeps an allocation's shards on as few devices
+        as possible.
     """
 
-    POLICIES = ("round_robin", "least_loaded")
+    POLICIES = ("round_robin", "least_loaded", "cache_affinity")
 
     def __init__(
         self,
         num_devices: int = 2,
         config: Optional[ChipConfig] = None,
         noise: Optional[NoiseConfig] = None,
-        policy: str = "least_loaded",
+        policy: Union[str, PlacementPolicy] = "least_loaded",
     ) -> None:
         if num_devices < 1:
-            raise AllocationError("a device pool needs at least one device")
-        if policy not in self.POLICIES:
-            raise AllocationError(
-                f"unknown scheduling policy {policy!r}; expected one of {self.POLICIES}"
+            raise NoDevicesError(
+                f"a device pool needs at least one device (got {num_devices})"
             )
-        self.policy = policy
+        self.placement_policy = make_placement_policy(policy)
         self.devices: List[DarthPumDevice] = [
             DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
         ]
         self._allocations: Dict[int, PooledAllocation] = {}
         self._next_allocation = 0
-        self._round_robin_next = 0
+
+    @property
+    def policy(self) -> str:
+        """Name of the active placement policy."""
+        return self.placement_policy.name
 
     # ------------------------------------------------------------------ #
     # Scheduling                                                           #
@@ -150,6 +285,7 @@ class DevicePool:
         matrix: np.ndarray,
         element_size: int = 8,
         precision: int = 0,
+        affinity: Sequence[int] = (),
     ) -> PooledAllocation:
         """Store ``matrix``, sharding it across devices when necessary.
 
@@ -157,8 +293,15 @@ class DevicePool:
         when no single device can hold it, it is split into the smallest
         number of contiguous row bands such that every band fits some device
         (bands are sized evenly, so the last band may be smaller when the
-        row count does not divide).
+        row count does not divide).  ``affinity`` optionally seeds the set of
+        preferred devices for affinity-aware policies (e.g. the devices that
+        held a previous version of the same matrix).
         """
+        if not self.devices:
+            raise NoDevicesError(
+                "DevicePool.set_matrix called with zero devices configured; "
+                "construct the pool with num_devices >= 1"
+            )
         matrix = np.asarray(matrix)
         if matrix.ndim != 2:
             raise QuantizationError("set_matrix expects a 2-D matrix")
@@ -172,14 +315,17 @@ class DevicePool:
         )
         plan: Optional[List[Shard]] = None
         for num_shards in range(1, max_shards + 1):
-            plan = self._plan_shards(matrix.shape, element_size, precision, num_shards)
+            plan = self._plan_shards(
+                matrix.shape, element_size, precision, num_shards, affinity
+            )
             if plan is not None:
                 break
         if plan is None:
             raise AllocationError(
                 f"matrix of shape {matrix.shape} does not fit this pool even "
-                f"when sharded one row band per device"
+                "when sharded one row band per device"
             )
+        self.placement_policy.committed(plan, self.num_devices)
 
         allocation = PooledAllocation(
             allocation_id=self._next_allocation, shape=(rows, cols)
@@ -201,6 +347,7 @@ class DevicePool:
         element_size: int,
         precision: int,
         num_shards: int,
+        affinity: Sequence[int] = (),
     ) -> Optional[List[Shard]]:
         """Try to place ``num_shards`` even row bands; None when infeasible."""
         rows, cols = shape
@@ -213,24 +360,13 @@ class DevicePool:
         while start < rows:
             end = min(rows, start + band)
             needed = self._hcts_for((end - start, cols), element_size, precision)
-            chosen: Optional[int] = None
-            if self.policy == "round_robin":
-                for offset in range(self.num_devices):
-                    index = (self._round_robin_next + len(shards) + offset) % self.num_devices
-                    if free[index] >= needed:
-                        chosen = index
-                        break
-            else:
-                candidates = [i for i in range(self.num_devices) if free[i] >= needed]
-                if candidates:
-                    chosen = max(candidates, key=lambda i: (free[i], -i))
+            placed_devices = list(affinity) + [shard.device_index for shard in shards]
+            chosen = self.placement_policy.choose(free, needed, placed_devices)
             if chosen is None:
                 return None
             free[chosen] -= needed
             shards.append(Shard(device_index=chosen, row_start=start, row_end=end))
             start = end
-        if self.policy == "round_robin":
-            self._round_robin_next = (self._round_robin_next + len(shards)) % self.num_devices
         return shards
 
     def exec_mvm(

@@ -1,0 +1,608 @@
+"""Dynamic-batching request scheduler and serving front-end (PumServer).
+
+The batched engine (PR 1) made one *caller-assembled* batch cheap; serving
+heavy traffic requires the opposite direction: millions of independent
+single-vector requests arriving one by one must be *coalesced* into batches
+before they reach the chips.  :class:`PumServer` is that layer:
+
+* callers register named matrices (placed on a :class:`~repro.runtime.pool.DevicePool`
+  by its pluggable placement policy) and ``submit()`` single-vector MVM
+  requests that return :class:`ServerFuture` handles;
+* a bounded queue feeds a deterministic simulated-clock scheduler loop:
+  every :meth:`PumServer.tick` coalesces compatible requests (same matrix,
+  same input precision) into one ``exec_mvm_batch`` call once a batch fills
+  (``max_batch``) or the oldest request has waited ``max_wait_ticks``;
+* admission control rejects -- or sheds lower-priority queued work for --
+  new requests when the queue is full, and requests whose deadline passed
+  are shed instead of executed;
+* per-request and aggregate telemetry (queue depth, batch-fill histogram,
+  latency percentiles in ticks, energy per request from the pool's
+  :class:`~repro.metrics.CostLedger`) accumulates in :class:`ServingStats`.
+
+The scheduler clock is a plain integer tick counter advanced only by
+``tick()`` -- tests and benchmarks are exactly reproducible.  For wall-clock
+deployments :class:`ThreadedServerDriver` pumps the same ``tick()`` from a
+background thread; correctness never depends on real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AdmissionError, QuantizationError, ReproError, SchedulerError
+from ..metrics import percentile
+from .pool import DevicePool, PooledAllocation
+
+__all__ = [
+    "BatchingConfig",
+    "PumServer",
+    "Request",
+    "Response",
+    "ServerFuture",
+    "ServingStats",
+    "ThreadedServerDriver",
+]
+
+#: Response status values.
+STATUS_COMPLETED = "completed"
+STATUS_REJECTED = "rejected"
+STATUS_SHED = "shed"
+STATUS_FAILED = "failed"
+
+#: Entries retained by each sliding telemetry window (see ServingStats).
+TELEMETRY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class Request:
+    """One single-vector MVM request as admitted to the queue."""
+
+    request_id: int
+    name: str
+    vector: np.ndarray
+    input_bits: int
+    priority: int
+    deadline: Optional[int]
+    arrival_tick: int
+
+
+@dataclass
+class Response:
+    """Terminal outcome of a request (completed, rejected, or shed)."""
+
+    request_id: int
+    name: str
+    status: str
+    result: Optional[np.ndarray]
+    arrival_tick: int
+    completion_tick: int
+    batch_size: int = 0
+    energy_pj: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a result."""
+        return self.status == STATUS_COMPLETED
+
+    @property
+    def latency_ticks(self) -> int:
+        """Scheduler ticks between admission and resolution."""
+        return self.completion_tick - self.arrival_tick
+
+
+class ServerFuture:
+    """Handle returned by :meth:`PumServer.submit`, resolved by the scheduler."""
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[Response] = None
+
+    def done(self) -> bool:
+        """Whether the request has reached a terminal state."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        """Block until resolved and return the :class:`Response`."""
+        if not self._event.wait(timeout):
+            raise SchedulerError(
+                f"request {self.request_id} not resolved within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: Response) -> None:
+        self._response = response
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Dynamic-batching and admission-control knobs.
+
+    ``max_batch``: largest coalesced batch handed to ``exec_mvm_batch``.
+    ``max_wait_ticks``: a non-full batch dispatches once its oldest request
+    has waited this many ticks (bounds tail latency under light load).
+    ``queue_capacity``: bound on queued requests; admission control engages
+    beyond it.  ``admission``: ``"reject"`` turns the newcomer away;
+    ``"shed_lowest"`` evicts the lowest-priority queued request instead when
+    the newcomer outranks it.
+    """
+
+    max_batch: int = 16
+    max_wait_ticks: int = 4
+    queue_capacity: int = 64
+    admission: str = "reject"
+
+    ADMISSION_MODES = ("reject", "shed_lowest")
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise SchedulerError("max_batch must be >= 1")
+        if self.max_wait_ticks < 0:
+            raise SchedulerError("max_wait_ticks must be >= 0")
+        if self.queue_capacity < 1:
+            raise SchedulerError("queue_capacity must be >= 1")
+        if self.admission not in self.ADMISSION_MODES:
+            raise SchedulerError(
+                f"unknown admission mode {self.admission!r}; "
+                f"expected one of {self.ADMISSION_MODES}"
+            )
+
+
+@dataclass
+class ServingStats:
+    """Aggregate serving telemetry (all times in scheduler ticks).
+
+    The counters and the batch-fill histogram are exact over the server's
+    lifetime; the queue-depth, latency, and energy series are bounded
+    sliding windows of the most recent :data:`TELEMETRY_WINDOW` entries so
+    a long-running deployment cannot grow memory without bound (the
+    percentiles are therefore over recent traffic).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    shed: int = 0
+    failed: int = 0
+    batches: int = 0
+    peak_queue_depth: int = 0
+    queue_depth_samples: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=TELEMETRY_WINDOW)
+    )
+    batch_fill: Dict[int, int] = field(default_factory=dict)
+    latencies: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=TELEMETRY_WINDOW)
+    )
+    energy_per_request_pj: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=TELEMETRY_WINDOW)
+    )
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Sample the queue depth at a tick boundary."""
+        self.queue_depth_samples.append(depth)
+        self.peak_queue_depth = max(self.peak_queue_depth, depth)
+
+    def record_batch(self, size: int, latencies: List[int], energy_pj: float) -> None:
+        """Account one dispatched batch."""
+        self.batches += 1
+        self.completed += size
+        self.batch_fill[size] = self.batch_fill.get(size, 0) + 1
+        self.latencies.extend(latencies)
+        per_request = energy_pj / size if size else 0.0
+        self.energy_per_request_pj.extend([per_request] * size)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in ticks (0.0 when nothing completed yet)."""
+        if not self.latencies:
+            return 0.0
+        return percentile(self.latencies, q)
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Average requests per dispatched batch."""
+        if not self.batches:
+            return 0.0
+        return self.completed / self.batches
+
+    @property
+    def mean_energy_per_request_pj(self) -> float:
+        """Average chip energy charged per completed request."""
+        if not self.energy_per_request_pj:
+            return 0.0
+        return sum(self.energy_per_request_pj) / len(self.energy_per_request_pj)
+
+    def summary(self) -> Dict[str, float]:
+        """One flat dict for dashboards / benchmark artifacts."""
+        return {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "shed": float(self.shed),
+            "failed": float(self.failed),
+            "batches": float(self.batches),
+            "mean_batch_fill": self.mean_batch_fill,
+            "max_queue_depth": float(self.peak_queue_depth),
+            "p50_latency_ticks": self.latency_percentile(50),
+            "p95_latency_ticks": self.latency_percentile(95),
+            "p99_latency_ticks": self.latency_percentile(99),
+            "mean_energy_per_request_pj": self.mean_energy_per_request_pj,
+        }
+
+
+class PumServer:
+    """Serving front-end: single-vector requests in, coalesced batches out.
+
+    >>> import numpy as np
+    >>> from repro.runtime.server import PumServer
+    >>> server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=2)
+    >>> _ = server.register_matrix("proj", np.eye(8, dtype=np.int64))
+    >>> futures = [server.submit("proj", np.full(8, i, dtype=np.int64),
+    ...                          input_bits=3) for i in range(4)]
+    >>> responses = server.run_until_idle()
+    >>> sorted(r.request_id for r in responses)
+    [0, 1, 2, 3]
+    >>> futures[2].result().result
+    array([2, 2, 2, 2, 2, 2, 2, 2])
+    >>> server.stats.batch_fill
+    {4: 1}
+    """
+
+    def __init__(
+        self,
+        pool: Optional[DevicePool] = None,
+        num_devices: int = 2,
+        policy: str = "cache_affinity",
+        max_batch: int = 16,
+        max_wait_ticks: int = 4,
+        queue_capacity: int = 64,
+        admission: str = "reject",
+    ) -> None:
+        self.pool = pool if pool is not None else DevicePool(
+            num_devices=num_devices, policy=policy
+        )
+        self.batching = BatchingConfig(
+            max_batch=max_batch,
+            max_wait_ticks=max_wait_ticks,
+            queue_capacity=queue_capacity,
+            admission=admission,
+        )
+        self.now = 0
+        self.stats = ServingStats()
+        self._lock = threading.RLock()
+        self._queue: List[Request] = []
+        self._futures: Dict[int, ServerFuture] = {}
+        self._matrices: Dict[str, PooledAllocation] = {}
+        self._next_request = 0
+
+    # ------------------------------------------------------------------ #
+    # Matrix registry                                                      #
+    # ------------------------------------------------------------------ #
+    def register_matrix(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        element_size: int = 8,
+        precision: int = 0,
+    ) -> PooledAllocation:
+        """Place ``matrix`` on the pool under ``name`` (replacing any old one).
+
+        Re-registration passes the previous shards' devices as the affinity
+        hint, so the cache-affinity policy keeps updated matrices on chips
+        whose ReRAM arrays already hold the stale version.
+        """
+        with self._lock:
+            affinity: Tuple[int, ...] = ()
+            previous = self._matrices.pop(name, None)
+            if previous is not None:
+                affinity = tuple(previous.devices_used)
+                self.pool.release(previous)
+            allocation = self.pool.set_matrix(
+                matrix, element_size=element_size, precision=precision,
+                affinity=affinity,
+            )
+            self._matrices[name] = allocation
+            return allocation
+
+    @property
+    def matrix_names(self) -> Tuple[str, ...]:
+        """Names of the matrices currently registered."""
+        with self._lock:
+            return tuple(self._matrices)
+
+    def allocation_for(self, name: str) -> PooledAllocation:
+        """The live pooled allocation registered under ``name``."""
+        with self._lock:
+            if name not in self._matrices:
+                raise AdmissionError(f"no matrix registered under {name!r}")
+            return self._matrices[name]
+
+    # ------------------------------------------------------------------ #
+    # Admission                                                            #
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        name: str,
+        vector: np.ndarray,
+        input_bits: int = 8,
+        priority: int = 0,
+        deadline: Optional[int] = None,
+    ) -> ServerFuture:
+        """Admit one single-vector MVM request and return its future.
+
+        ``priority`` orders requests within a batch window (higher first);
+        ``deadline`` is an absolute tick after which the request is shed
+        rather than executed.  When the queue is at capacity the admission
+        mode decides between rejecting the newcomer and shedding the
+        lowest-priority queued request.
+        """
+        with self._lock:
+            allocation = self.allocation_for(name)
+            vector = np.asarray(vector, dtype=np.int64)
+            rows, _ = allocation.shape
+            if vector.shape != (rows,):
+                raise QuantizationError(
+                    f"request vector of shape {vector.shape} does not match "
+                    f"matrix {name!r} rows ({rows})"
+                )
+            # Reject values the bit-slicer cannot represent *now*, so a bad
+            # vector fails its caller synchronously instead of poisoning the
+            # batch it would later ride in.
+            if vector.size and (vector.min() < 0 or vector.max() >= 1 << input_bits):
+                raise QuantizationError(
+                    f"request vector values must be in [0, 2**{input_bits}) "
+                    f"(got range [{vector.min()}, {vector.max()}])"
+                )
+            request = Request(
+                request_id=self._next_request,
+                name=name,
+                vector=vector,
+                input_bits=input_bits,
+                priority=priority,
+                deadline=deadline,
+                arrival_tick=self.now,
+            )
+            self._next_request += 1
+            future = ServerFuture(request.request_id)
+            self.stats.submitted += 1
+
+            if len(self._queue) >= self.batching.queue_capacity:
+                victim = self._admission_victim(request)
+                if victim is None:
+                    self.stats.rejected += 1
+                    future._resolve(self._terminal(request, STATUS_REJECTED))
+                    return future
+                self._queue.remove(victim)
+                self.stats.shed += 1
+                self._futures.pop(victim.request_id)._resolve(
+                    self._terminal(victim, STATUS_SHED)
+                )
+
+            self._queue.append(request)
+            self._futures[request.request_id] = future
+            return future
+
+    def _admission_victim(self, newcomer: Request) -> Optional[Request]:
+        """The queued request to shed for ``newcomer``, or None to reject it."""
+        if self.batching.admission != "shed_lowest":
+            return None
+        victim = min(
+            self._queue, key=lambda r: (r.priority, r.arrival_tick, r.request_id)
+        )
+        if victim.priority < newcomer.priority:
+            return victim
+        return None
+
+    def _terminal(self, request: Request, status: str) -> Response:
+        return Response(
+            request_id=request.request_id,
+            name=request.name,
+            status=status,
+            result=None,
+            arrival_tick=request.arrival_tick,
+            completion_tick=self.now,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scheduler loop                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Requests currently queued."""
+        with self._lock:
+            return len(self._queue)
+
+    def tick(self) -> List[Response]:
+        """Advance the simulated clock one tick and dispatch what is due.
+
+        Returns the responses resolved during this tick (completed batches
+        plus deadline sheds), in dispatch order.
+        """
+        with self._lock:
+            self.now += 1
+            self.stats.observe_queue_depth(len(self._queue))
+            resolved = self._shed_expired()
+            for name, input_bits in self._ready_groups():
+                resolved.extend(self._dispatch_group(name, input_bits))
+            return resolved
+
+    def run_until_idle(self, max_ticks: int = 100_000) -> List[Response]:
+        """Tick until the queue drains; returns every response resolved."""
+        responses: List[Response] = []
+        for _ in range(max_ticks):
+            if not self.pending:
+                return responses
+            responses.extend(self.tick())
+        if self.pending:
+            raise SchedulerError(
+                f"queue failed to drain within {max_ticks} ticks "
+                f"({self.pending} requests pending)"
+            )
+        return responses
+
+    def _shed_expired(self) -> List[Response]:
+        """Shed queued requests whose absolute deadline has passed."""
+        expired = [
+            r for r in self._queue if r.deadline is not None and r.deadline < self.now
+        ]
+        responses = []
+        for request in expired:
+            self._queue.remove(request)
+            self.stats.shed += 1
+            response = self._terminal(request, STATUS_SHED)
+            self._futures.pop(request.request_id)._resolve(response)
+            responses.append(response)
+        return responses
+
+    def _ready_groups(self) -> List[Tuple[str, int]]:
+        """Compatible groups due for dispatch, oldest-arrival first."""
+        groups: Dict[Tuple[str, int], List[Request]] = {}
+        for request in self._queue:
+            groups.setdefault((request.name, request.input_bits), []).append(request)
+        ready = []
+        for key, members in groups.items():
+            oldest_wait = self.now - min(r.arrival_tick for r in members)
+            if len(members) >= self.batching.max_batch \
+                    or oldest_wait >= self.batching.max_wait_ticks:
+                ready.append((min(r.arrival_tick for r in members), key))
+        return [key for _, key in sorted(ready)]
+
+    def _dispatch_group(self, name: str, input_bits: int) -> List[Response]:
+        """Drain one compatible group into >= 1 ``exec_mvm_batch`` calls."""
+        responses: List[Response] = []
+        while True:
+            members = [
+                r for r in self._queue
+                if r.name == name and r.input_bits == input_bits
+            ]
+            if not members:
+                return responses
+            oldest_wait = self.now - min(r.arrival_tick for r in members)
+            if len(members) < self.batching.max_batch \
+                    and oldest_wait < self.batching.max_wait_ticks:
+                return responses
+            members.sort(key=lambda r: (-r.priority, r.arrival_tick, r.request_id))
+            batch = members[: self.batching.max_batch]
+            responses.extend(self._execute_batch(name, input_bits, batch))
+
+    def _execute_batch(
+        self, name: str, input_bits: int, batch: List[Request]
+    ) -> List[Response]:
+        allocation = self._matrices[name]
+        vectors = np.stack([r.vector for r in batch])
+        energy_before = self.pool.total_ledger().energy_pj
+        try:
+            results = self.pool.exec_mvm_batch(
+                allocation, vectors, input_bits=input_bits
+            )
+        except ReproError as exc:
+            # A failing batch must never wedge the scheduler: resolve every
+            # rider as failed and keep the loop (and any driver thread) alive.
+            return self._fail_batch(batch, exc)
+        energy_pj = self.pool.total_ledger().energy_pj - energy_before
+        per_request = energy_pj / len(batch)
+
+        responses = []
+        latencies = []
+        for row, request in enumerate(batch):
+            self._queue.remove(request)
+            response = Response(
+                request_id=request.request_id,
+                name=name,
+                status=STATUS_COMPLETED,
+                result=results[row],
+                arrival_tick=request.arrival_tick,
+                completion_tick=self.now,
+                batch_size=len(batch),
+                energy_pj=per_request,
+            )
+            latencies.append(response.latency_ticks)
+            self._futures.pop(request.request_id)._resolve(response)
+            responses.append(response)
+        self.stats.record_batch(len(batch), latencies, energy_pj)
+        return responses
+
+    def _fail_batch(self, batch: List[Request], exc: ReproError) -> List[Response]:
+        responses = []
+        for request in batch:
+            self._queue.remove(request)
+            self.stats.failed += 1
+            response = Response(
+                request_id=request.request_id,
+                name=request.name,
+                status=STATUS_FAILED,
+                result=None,
+                arrival_tick=request.arrival_tick,
+                completion_tick=self.now,
+                batch_size=len(batch),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._futures.pop(request.request_id)._resolve(response)
+            responses.append(response)
+        return responses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PumServer(matrices={len(self._matrices)}, pending={self.pending}, "
+            f"tick={self.now}, pool={self.pool!r})"
+        )
+
+
+class ThreadedServerDriver:
+    """Pump :meth:`PumServer.tick` from a daemon thread (wall-clock serving).
+
+    The simulated tick stays the unit of scheduling time; the driver merely
+    maps it onto real time at ``tick_interval`` seconds per tick, so a
+    threaded deployment exhibits the same batching behaviour the
+    deterministic tests pin down.  Use as a context manager::
+
+        with ThreadedServerDriver(server, tick_interval=1e-4):
+            future = server.submit("proj", vector)
+            response = future.result(timeout=1.0)
+    """
+
+    def __init__(self, server: PumServer, tick_interval: float = 1e-4) -> None:
+        if tick_interval < 0:
+            raise SchedulerError("tick_interval must be >= 0")
+        self.server = server
+        self.tick_interval = tick_interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ThreadedServerDriver":
+        """Start the tick loop (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="pum-server-driver")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the tick loop and join the thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.server.tick()
+            if self.tick_interval:
+                time.sleep(self.tick_interval)
+
+    def __enter__(self) -> "ThreadedServerDriver":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

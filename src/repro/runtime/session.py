@@ -25,8 +25,8 @@ import numpy as np
 
 from ..analog.ace import MatrixHandle
 from ..core.chip import DarthPumChip
-from ..core.config import ChipConfig, HctConfig
-from ..errors import AllocationError, QuantizationError
+from ..core.config import ChipConfig
+from ..errors import QuantizationError
 from ..metrics import CostLedger
 from ..reram import NoiseConfig
 from .allocator import MatrixPlacement, plan_matrix, precision_to_bits_per_cell

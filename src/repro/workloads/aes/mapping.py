@@ -21,7 +21,7 @@ The four AES round steps map onto the hybrid compute tile as follows:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -33,7 +33,13 @@ from ...errors import MappingError
 from .gf import gf_mul
 from .reference import SBOX, MIX_COLUMNS_MATRIX, key_expansion, num_rounds
 
-__all__ = ["mixcolumns_bit_matrix", "AesKernelCycles", "DarthPumAes"]
+__all__ = [
+    "mixcolumns_bit_matrix",
+    "columns_to_bits",
+    "bits_to_columns",
+    "AesKernelCycles",
+    "DarthPumAes",
+]
 
 
 def mixcolumns_bit_matrix(coefficients: Optional[np.ndarray] = None) -> np.ndarray:
@@ -55,6 +61,25 @@ def mixcolumns_bit_matrix(coefficients: Optional[np.ndarray] = None) -> np.ndarr
                     if (product >> out_bit) & 1:
                         bit_matrix[8 * out_byte + out_bit, 8 * in_byte + in_bit] = 1
     return bit_matrix
+
+
+def columns_to_bits(columns: np.ndarray) -> np.ndarray:
+    """LSB-first bit expansion of a batch of 4-byte state columns.
+
+    ``columns`` has shape ``(n, 4)``; the result has shape ``(n, 32)`` with
+    bit index ``8 * byte + bit`` -- the input layout
+    :func:`mixcolumns_bit_matrix` expects.
+    """
+    columns = np.asarray(columns, dtype=np.int64).reshape(-1, 4)
+    return (
+        (columns[:, :, None] >> np.arange(8, dtype=np.int64)[None, None, :]) & 1
+    ).reshape(-1, 32)
+
+
+def bits_to_columns(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`columns_to_bits`: repack ``(n, 32)`` bits to bytes."""
+    bits = np.asarray(bits, dtype=np.int64).reshape(-1, 4, 8)
+    return (bits << np.arange(8, dtype=np.int64)[None, None, :]).sum(axis=2)
 
 
 @dataclass
@@ -212,9 +237,7 @@ class DarthPumAes:
         pass (previously four separate ``execute_mvm`` calls).
         """
         columns = np.asarray(state, dtype=np.int64).reshape(4, 4)
-        input_bits = (
-            (columns[:, :, None] >> np.arange(8, dtype=np.int64)[None, None, :]) & 1
-        ).reshape(4, 32)
+        input_bits = columns_to_bits(columns)
         result = self.tile.execute_mvm_batch(
             self.mix_handle,
             input_bits,
@@ -224,11 +247,7 @@ class DarthPumAes:
         )
         self.kernel_cycles.mix_columns += result.optimized_cycles
         parity = result.values & 1  # the "subsequent XOR": only the LSB matters
-        output = (
-            (parity.reshape(4, 4, 8) << np.arange(8, dtype=np.int64)[None, None, :])
-            .sum(axis=2)
-            .reshape(16)
-        )
+        output = bits_to_columns(parity).reshape(16)
         # Parity extraction (AND with 1) in the DCE.
         pipeline = self.tile.pipeline(self.STATE_PIPELINE)
         pipeline.write_vr(0, output)

@@ -23,9 +23,9 @@ from ...core.config import HctConfig
 from ...core.hct import HybridComputeTile
 from ...errors import MappingError
 from ..profile import MvmOp, WorkloadProfile
-from .layers import Conv2d, Linear
+from .layers import Conv2d
 from .quantize import quantize
-from .resnet import CIFAR10_INPUT_SHAPE, ResNet20
+from .resnet import ResNet20
 from .tensors import im2col
 
 __all__ = [

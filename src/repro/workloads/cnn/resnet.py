@@ -11,12 +11,12 @@ classifier.  The per-layer names match the labels of Figure 15
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, ReLU
+from .layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear
 
 __all__ = ["BasicBlock", "ResNet20", "resnet20", "CIFAR10_INPUT_SHAPE"]
 

@@ -16,8 +16,8 @@ layer norm use the I-BERT integer kernels in the DCE as well.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

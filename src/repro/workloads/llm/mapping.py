@@ -19,7 +19,7 @@ from ...core.config import HctConfig
 from ...core.hct import HybridComputeTile
 from ...errors import MappingError
 from ..profile import MvmOp, WorkloadProfile
-from .encoder import EncoderConfig, TransformerEncoder
+from .encoder import EncoderConfig
 
 __all__ = ["LlmMapping", "encoder_profile", "run_projection_on_tile"]
 

@@ -15,7 +15,6 @@ from repro.workloads.aes import (
     mix_columns,
     mixcolumns_bit_matrix,
     shift_rows,
-    sub_bytes,
     inv_mix_columns,
     inv_shift_rows,
     bytes_to_state,

@@ -96,9 +96,7 @@ class TestNumberRepresentations:
     def test_offset_encoding_and_decode(self):
         matrix = np.array([[3, -2]])
         scheme = OffsetSubtraction(value_bits=4)
-        encoded = scheme.encode(matrix)
-        inputs = np.array([1, 1])
-        raw = inputs @ encoded.positive.T  # not meaningful; just check decode math
+        scheme.encode(matrix)
         decoded = scheme.decode_partial(np.array([10.0]), np.zeros(1), np.array([1.0]))
         assert decoded[0] == 10.0 - scheme.offset
 

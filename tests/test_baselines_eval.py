@@ -10,7 +10,6 @@ from repro.baselines import (
     naive_hybrid_throughput,
 )
 from repro.eval import (
-    figure07_naive_hybrid,
     figure13_throughput,
     figure14_aes_breakdown,
     figure15_resnet_layers,
@@ -20,14 +19,12 @@ from repro.eval import (
     format_table,
     headline_results,
     render_report,
-    run_all,
     section75_accuracy,
     table2_configuration,
     table3_area_power,
     workload_profiles,
 )
 from repro.metrics import geometric_mean
-from repro.workloads.aes.profile import aes_profile
 
 
 class TestArchitectureModels:

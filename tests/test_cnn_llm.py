@@ -2,9 +2,8 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core import HctConfig, HybridComputeTile
 from repro.workloads.cnn import (
     CnnMapping,
     Conv2d,

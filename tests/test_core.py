@@ -11,10 +11,8 @@ from repro.core import (
     DarthPumChip,
     Domain,
     HctConfig,
-    HybridComputeTile,
     InstructionInjectionUnit,
     ShiftUnit,
-    Table3,
     TransposeUnit,
     VACoreManager,
 )

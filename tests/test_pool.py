@@ -6,8 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core import ChipConfig, HctConfig
-from repro.errors import AllocationError, QuantizationError
-from repro.runtime import DevicePool
+from repro.errors import AllocationError, NoDevicesError, QuantizationError
+from repro.runtime import (
+    CacheAffinityPolicy,
+    DevicePool,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_placement_policy,
+)
 
 
 @pytest.fixture
@@ -43,9 +49,74 @@ class TestScheduling:
         with pytest.raises(AllocationError):
             tiny_pool(policy="random")
 
-    def test_empty_pool_rejected(self):
-        with pytest.raises(AllocationError):
+    def test_empty_pool_raises_named_error(self):
+        with pytest.raises(NoDevicesError):
             DevicePool(num_devices=0)
+        # The named error is still an AllocationError for legacy callers.
+        assert issubclass(NoDevicesError, AllocationError)
+
+    def test_set_matrix_with_zero_devices_raises_named_error(self):
+        pool = tiny_pool(num_devices=1)
+        pool.devices.clear()  # a misconfigured deployment, not a planner bug
+        with pytest.raises(NoDevicesError, match="zero devices"):
+            pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+
+
+class TestPlacementPolicies:
+    def test_policy_factory_resolves_names_and_instances(self):
+        assert isinstance(make_placement_policy("round_robin"), RoundRobinPolicy)
+        assert isinstance(make_placement_policy("least_loaded"), LeastLoadedPolicy)
+        assert isinstance(make_placement_policy("cache_affinity"), CacheAffinityPolicy)
+        instance = RoundRobinPolicy()
+        assert make_placement_policy(instance) is instance
+        with pytest.raises(AllocationError):
+            make_placement_policy("fifo")
+
+    def test_policy_instance_accepted_by_pool(self):
+        pool = DevicePool(
+            num_devices=2,
+            config=ChipConfig(hct=HctConfig.small(), num_hcts=3),
+            policy=RoundRobinPolicy(),
+        )
+        assert pool.policy == "round_robin"
+
+    def test_cache_affinity_reuses_devices_for_updates(self):
+        pool = tiny_pool(policy="cache_affinity")
+        first = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        assert first.devices_used == [0]  # least-loaded fallback seeds device 0
+        updated = pool.set_matrix(
+            np.eye(8, dtype=np.int64), element_size=4,
+            affinity=first.devices_used,
+        )
+        assert updated.devices_used == first.devices_used
+        # Without an affinity hint the policy behaves like least-loaded.
+        fresh = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        assert fresh.devices_used == [1]
+
+    def test_cache_affinity_ignores_stale_affinity_hints(self):
+        pool = tiny_pool(policy="cache_affinity")
+        allocation = pool.set_matrix(
+            np.eye(8, dtype=np.int64), element_size=4, affinity=[99, -3]
+        )
+        assert allocation.devices_used == [0]  # fell back to least-loaded
+
+    def test_cache_affinity_falls_back_when_preferred_device_is_full(self, rng):
+        pool = tiny_pool(policy="cache_affinity", num_devices=3)
+        big = rng.integers(-8, 8, size=(100, 30))  # needs more than one chip
+        allocation = pool.set_matrix(big, element_size=4, precision=0)
+        assert len(allocation.devices_used) > 1
+        vectors = rng.integers(0, 8, size=(4, 100))
+        assert np.array_equal(
+            pool.exec_mvm_batch(allocation, vectors, input_bits=3), vectors @ big
+        )
+
+    def test_round_robin_cursor_survives_refactor(self):
+        pool = tiny_pool(num_devices=3, policy="round_robin")
+        used = [
+            pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4).devices_used
+            for _ in range(3)
+        ]
+        assert used == [[0], [1], [2]]
 
 
 class TestSharding:

@@ -1,0 +1,288 @@
+"""PumServer scheduler: batching, admission, deadlines, telemetry, threading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PumServer, ThreadedServerDriver
+from repro.errors import AdmissionError, QuantizationError, SchedulerError
+from repro.runtime import (
+    serve_aes_mixcolumns,
+    serve_cnn_conv,
+    serve_llm_projection,
+)
+from repro.runtime.server import BatchingConfig
+from repro.workloads.aes.gf import gf_mul
+from repro.workloads.aes.reference import MIX_COLUMNS_MATRIX
+from repro.workloads.cnn.layers import Conv2d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)
+
+
+def make_server(**kwargs):
+    defaults = dict(num_devices=2, max_batch=4, max_wait_ticks=2)
+    defaults.update(kwargs)
+    server = PumServer(**defaults)
+    server.register_matrix("eye", np.eye(8, dtype=np.int64))
+    return server
+
+
+def submit_n(server, n, name="eye", **kwargs):
+    return [
+        server.submit(name, np.full(8, i % 4, dtype=np.int64), input_bits=3, **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestSchedulerEdgeCases:
+    def test_empty_queue_tick_is_a_no_op(self):
+        server = make_server()
+        assert server.tick() == []
+        assert server.tick() == []
+        assert server.now == 2
+        assert server.pending == 0
+        assert list(server.stats.queue_depth_samples) == [0, 0]
+        assert server.stats.batches == 0
+
+    def test_deadline_expired_request_is_shed(self):
+        server = make_server(max_batch=8, max_wait_ticks=10)
+        future = server.submit("eye", np.ones(8, dtype=np.int64),
+                               input_bits=3, deadline=2)
+        assert server.tick() == []  # now=1: still within deadline, batch not due
+        assert server.tick() == []  # now=2: deadline tick itself is still valid
+        responses = server.tick()   # now=3: past the deadline -> shed
+        assert len(responses) == 1
+        assert responses[0].status == "shed"
+        assert future.done()
+        assert future.result().result is None
+        assert server.stats.shed == 1
+        assert server.pending == 0
+
+    def test_single_request_batch_dispatches_after_max_wait(self):
+        server = make_server(max_batch=8, max_wait_ticks=3)
+        vector = np.arange(8, dtype=np.int64) % 4
+        future = server.submit("eye", vector, input_bits=3)
+        for _ in range(2):
+            assert server.tick() == []
+        responses = server.tick()  # oldest has now waited max_wait_ticks
+        assert len(responses) == 1
+        assert responses[0].batch_size == 1
+        assert np.array_equal(future.result().result, vector)
+        assert server.stats.batch_fill == {1: 1}
+
+    def test_queue_full_rejects_newcomer(self):
+        server = make_server(queue_capacity=2, admission="reject")
+        admitted = submit_n(server, 2)
+        rejected = server.submit("eye", np.ones(8, dtype=np.int64), input_bits=3)
+        assert rejected.done()
+        assert rejected.result().status == "rejected"
+        assert server.stats.rejected == 1
+        assert server.pending == 2
+        server.run_until_idle()
+        assert all(f.result().ok for f in admitted)
+
+    def test_queue_full_sheds_lowest_priority_for_higher(self):
+        server = make_server(queue_capacity=2, admission="shed_lowest",
+                             max_batch=8, max_wait_ticks=10)
+        low_a, low_b = submit_n(server, 2, priority=0)
+        high = server.submit("eye", np.ones(8, dtype=np.int64),
+                             input_bits=3, priority=5)
+        assert low_a.done()  # oldest lowest-priority request was evicted
+        assert low_a.result().status == "shed"
+        assert not low_b.done()
+        assert not high.done()
+        assert server.pending == 2
+        # A newcomer that does not outrank anyone queued is rejected instead.
+        lowest = server.submit("eye", np.ones(8, dtype=np.int64),
+                               input_bits=3, priority=-1)
+        assert lowest.result().status == "rejected"
+
+
+class TestBatching:
+    def test_full_batch_dispatches_immediately(self, rng):
+        server = make_server(max_batch=4, max_wait_ticks=50)
+        futures = submit_n(server, 4)
+        responses = server.tick()
+        assert len(responses) == 4
+        assert all(r.batch_size == 4 for r in responses)
+        assert server.stats.batch_fill == {4: 1}
+        for i, future in enumerate(futures):
+            assert np.array_equal(future.result().result,
+                                  np.full(8, i % 4, dtype=np.int64))
+
+    def test_results_bit_identical_to_direct_pool_execution(self, rng):
+        matrix = rng.integers(-50, 50, size=(16, 12))
+        vectors = rng.integers(0, 16, size=(10, 16))
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=1)
+        server.register_matrix("m", matrix, element_size=8)
+        futures = [server.submit("m", v, input_bits=4) for v in vectors]
+        server.run_until_idle()
+        served = np.stack([f.result().result for f in futures])
+        assert np.array_equal(served, vectors @ matrix)
+
+    def test_incompatible_input_bits_batch_separately(self):
+        server = make_server(max_batch=8, max_wait_ticks=1)
+        coarse = server.submit("eye", np.ones(8, dtype=np.int64), input_bits=2)
+        fine = server.submit("eye", np.full(8, 3, dtype=np.int64), input_bits=4)
+        server.run_until_idle()
+        assert coarse.result().batch_size == 1
+        assert fine.result().batch_size == 1
+        assert server.stats.batches == 2
+
+    def test_higher_priority_rides_the_first_batch(self):
+        server = make_server(max_batch=2, max_wait_ticks=1)
+        low_a, low_b = submit_n(server, 2, priority=0)
+        high = server.submit("eye", np.full(8, 3, dtype=np.int64),
+                             input_bits=3, priority=9)
+        server.tick()
+        assert high.done() and low_a.done()
+        assert high.result().batch_size == 2
+        assert low_b.done()  # remainder flushed by the same wait trigger
+        assert low_b.result().batch_size == 1
+
+    def test_submit_validates_name_and_shape(self):
+        server = make_server()
+        with pytest.raises(AdmissionError):
+            server.submit("missing", np.ones(8, dtype=np.int64))
+        with pytest.raises(QuantizationError):
+            server.submit("eye", np.ones(9, dtype=np.int64))
+
+    def test_submit_rejects_unrepresentable_values(self):
+        server = make_server()
+        with pytest.raises(QuantizationError, match="values must be"):
+            server.submit("eye", np.full(8, -1, dtype=np.int64), input_bits=3)
+        with pytest.raises(QuantizationError, match="values must be"):
+            server.submit("eye", np.full(8, 8, dtype=np.int64), input_bits=3)
+
+    def test_failing_batch_does_not_wedge_the_scheduler(self):
+        server = make_server(max_batch=2, max_wait_ticks=1)
+        def explode(*args, **kwargs):
+            raise QuantizationError("chip fault")
+        server.pool.exec_mvm_batch = explode
+        doomed = submit_n(server, 2)
+        responses = server.tick()
+        assert [r.status for r in responses] == ["failed", "failed"]
+        assert "chip fault" in doomed[0].result().error
+        assert server.pending == 0
+        assert server.stats.failed == 2
+        assert server.tick() == []  # the loop is still alive
+
+    def test_invalid_batching_config_rejected(self):
+        with pytest.raises(SchedulerError):
+            BatchingConfig(max_batch=0)
+        with pytest.raises(SchedulerError):
+            BatchingConfig(admission="drop_everything")
+
+
+class TestTelemetry:
+    def test_latency_percentiles_and_energy(self, rng):
+        server = make_server(max_batch=4, max_wait_ticks=3)
+        submit_n(server, 10)
+        server.run_until_idle()
+        summary = server.stats.summary()
+        assert summary["completed"] == 10
+        assert summary["batches"] >= 3
+        assert 1 <= summary["p50_latency_ticks"] <= summary["p99_latency_ticks"]
+        assert summary["mean_energy_per_request_pj"] > 0
+        assert summary["max_queue_depth"] >= 4
+
+    def test_energy_matches_pool_ledger(self):
+        server = make_server(max_batch=4, max_wait_ticks=1)
+        programming_energy = server.pool.total_ledger().energy_pj
+        submit_n(server, 8)
+        server.run_until_idle()
+        execution_energy = server.pool.total_ledger().energy_pj - programming_energy
+        accounted = sum(server.stats.energy_per_request_pj)
+        assert accounted == pytest.approx(execution_energy)
+
+    def test_empty_stats_summary_is_well_defined(self):
+        stats = PumServer(num_devices=1).stats
+        summary = stats.summary()
+        assert summary["p99_latency_ticks"] == 0.0
+        assert summary["mean_batch_fill"] == 0.0
+
+
+class TestMatrixRegistry:
+    def test_reregistration_releases_the_old_allocation(self, rng):
+        server = PumServer(num_devices=2, policy="cache_affinity")
+        first = server.register_matrix("m", rng.integers(-5, 5, size=(8, 8)))
+        used_before = sum(u > 0 for u in server.pool.utilization())
+        second = server.register_matrix("m", rng.integers(-5, 5, size=(8, 8)))
+        assert sum(u > 0 for u in server.pool.utilization()) == used_before
+        # Cache affinity re-places the update on the device(s) that held it.
+        assert second.devices_used == first.devices_used
+
+    def test_requests_use_the_latest_registration(self):
+        server = make_server(max_batch=1, max_wait_ticks=1)
+        server.register_matrix("eye", 2 * np.eye(8, dtype=np.int64), element_size=4)
+        future = server.submit("eye", np.full(8, 2, dtype=np.int64), input_bits=3)
+        server.run_until_idle()
+        assert np.array_equal(future.result().result, np.full(8, 4, dtype=np.int64))
+
+
+class TestThreadedDriver:
+    def test_background_driver_serves_requests(self):
+        server = make_server(max_batch=4, max_wait_ticks=2)
+        with ThreadedServerDriver(server, tick_interval=1e-5):
+            futures = submit_n(server, 6)
+            responses = [f.result(timeout=5.0) for f in futures]
+        assert all(r.ok for r in responses)
+        assert server.pending == 0
+
+    def test_driver_start_stop_idempotent(self):
+        server = make_server()
+        driver = ThreadedServerDriver(server, tick_interval=0.0)
+        driver.start()
+        driver.start()
+        driver.stop()
+        driver.stop()
+        with pytest.raises(SchedulerError):
+            ThreadedServerDriver(server, tick_interval=-1.0)
+
+
+class TestServingEntryPoints:
+    def test_serve_aes_mixcolumns_matches_gf_reference(self, rng):
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=2)
+        columns = rng.integers(0, 256, size=(6, 4))
+        served = serve_aes_mixcolumns(server, columns)
+        reference = np.zeros_like(columns)
+        for n in range(columns.shape[0]):
+            for i in range(4):
+                acc = 0
+                for j in range(4):
+                    acc ^= gf_mul(int(MIX_COLUMNS_MATRIX[i, j]), int(columns[n, j]))
+                reference[n, i] = acc
+        assert np.array_equal(served, reference)
+        # The bit matrix is registered once and reused on the next call.
+        assert server.matrix_names.count("aes.mixcolumns") == 1
+        serve_aes_mixcolumns(server, columns[:2])
+        assert server.matrix_names.count("aes.mixcolumns") == 1
+
+    def test_serve_cnn_conv_within_quantisation_tolerance(self, rng):
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=2)
+        conv = Conv2d(3, 4, kernel=3, rng=rng)
+        image = rng.standard_normal((1, 3, 8, 8))
+        device, reference = serve_cnn_conv(server, conv, image, positions=6)
+        scale = np.abs(reference).max()
+        assert np.allclose(device, reference, atol=0.1 * scale + 1e-6)
+
+    def test_serve_llm_projection_within_quantisation_tolerance(self, rng):
+        server = PumServer(num_devices=2, max_batch=8, max_wait_ticks=2)
+        weight = rng.standard_normal((16, 8))
+        activations = rng.standard_normal((5, 16))
+        device, reference = serve_llm_projection(server, weight, activations)
+        scale = np.abs(reference).max()
+        assert np.allclose(device, reference, atol=0.1 * scale + 1e-6)
+
+    def test_workloads_larger_than_queue_capacity_are_served_in_waves(self, rng):
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=1,
+                           queue_capacity=4, admission="reject")
+        weight = rng.standard_normal((16, 8))
+        activations = rng.standard_normal((11, 16))  # ~3x the queue capacity
+        device, reference = serve_llm_projection(server, weight, activations)
+        assert device.shape == reference.shape == (11, 8)
+        assert server.stats.rejected == 0
