@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench kernel-bench profile lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -33,6 +33,16 @@ batch-bench:
 # Writes benchmarks/artifacts/serving_throughput.json (the CI artifact).
 serve-bench:
 	$(PY) -m pytest benchmarks/test_serving_throughput.py -q
+
+# The vectorized-engine acceptance gate (>=10x over engine="reference" on a
+# 64x64 batch-32 MVM).  Writes benchmarks/artifacts/kernel_speedup.json and
+# appends the headline numbers to BENCH_kernels.json.
+kernel-bench:
+	$(PY) -m pytest benchmarks/test_kernel_speedup.py -q
+
+# cProfile the serving benchmark and print the top-20 cumulative hot spots.
+profile:
+	$(PY) benchmarks/profile_serving.py
 
 # Lint/format gate (needs ruff: pip install -r requirements-dev.txt).
 lint:

@@ -1,0 +1,64 @@
+"""Profile the serving hot path and print the top cumulative hot spots.
+
+Runs a representative dynamic-batching serving workload -- one registered
+64x64 matrix, waves of single-vector requests coalesced by the scheduler --
+under :mod:`cProfile` and prints the top-20 functions by cumulative time.
+This is the profile-guided loop behind the vectorized execution engine:
+whatever tops this list is the next optimisation target.
+
+Usage::
+
+    make profile
+    # or directly:
+    PYTHONPATH=src python benchmarks/profile_serving.py [num_requests]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+import numpy as np
+
+from repro import PumServer
+
+MATRIX_SHAPE = (64, 64)
+INPUT_BITS = 8
+
+
+def run_serving_workload(num_requests: int = 512) -> None:
+    """Serve ``num_requests`` single-vector MVMs through the PumServer."""
+    rng = np.random.default_rng(11)
+    matrix = rng.integers(-100, 100, size=MATRIX_SHAPE)
+    vectors = rng.integers(0, 2 ** INPUT_BITS, size=(num_requests, MATRIX_SHAPE[0]))
+
+    server = PumServer(num_devices=2, max_batch=16, max_wait_ticks=2)
+    server.register_matrix("proj", matrix, element_size=8)
+
+    wave = server.batching.queue_capacity
+    for start in range(0, num_requests, wave):
+        futures = [
+            server.submit("proj", vector, input_bits=INPUT_BITS)
+            for vector in vectors[start: start + wave]
+        ]
+        server.run_until_idle()
+        for future in futures:
+            assert future.result().ok
+
+
+def main() -> None:
+    num_requests = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_serving_workload(num_requests)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"# top-20 cumulative hot spots ({num_requests} served requests)")
+    stats.print_stats(20)
+
+
+if __name__ == "__main__":
+    main()

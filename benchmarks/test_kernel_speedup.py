@@ -1,0 +1,114 @@
+"""Kernel speedup gate: the vectorized engine vs the looped reference engine.
+
+The acceptance gate for the vectorized bit-plane execution engine: on the
+paper's canonical hot kernel -- a 64x64 matrix MVM at batch 32, 8-bit
+inputs and weights -- ``engine="vectorized"`` must be at least 10x faster
+than ``engine="reference"`` while remaining bit-identical (results and
+cost-ledger totals).
+
+The measured numbers are written to
+``benchmarks/artifacts/kernel_speedup.json`` (the CI artifact) and appended
+to the ``BENCH_kernels.json`` trajectory file at the repo root so the
+headline numbers accumulate across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import DarthPumDevice
+
+MATRIX_SHAPE = (64, 64)
+BATCH = 32
+INPUT_BITS = 8
+ELEMENT_SIZE = 8
+REQUIRED_SPEEDUP = 10.0
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
+
+
+def _bench(device, allocation, vectors, engine, repeats=7, loops=5):
+    """Best-of-N wall-clock seconds for one batched MVM under ``engine``."""
+    device.exec_mvm_batch(allocation, vectors, input_bits=INPUT_BITS, engine=engine)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            result = device.exec_mvm_batch(
+                allocation, vectors, input_bits=INPUT_BITS, engine=engine
+            )
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best, result
+
+
+def test_vectorized_kernel_speedup_gate():
+    rng = np.random.default_rng(7)
+    matrix = rng.integers(-100, 100, size=MATRIX_SHAPE)
+    vectors = rng.integers(0, 2 ** INPUT_BITS, size=(BATCH, MATRIX_SHAPE[0]))
+
+    reference_device = DarthPumDevice()
+    reference_allocation = reference_device.set_matrix(
+        matrix, element_size=ELEMENT_SIZE, precision=0
+    )
+    vectorized_device = DarthPumDevice()
+    vectorized_allocation = vectorized_device.set_matrix(
+        matrix, element_size=ELEMENT_SIZE, precision=0
+    )
+
+    reference_seconds, reference_result = _bench(
+        reference_device, reference_allocation, vectors, "reference"
+    )
+    vectorized_seconds, vectorized_result = _bench(
+        vectorized_device, vectorized_allocation, vectors, "vectorized"
+    )
+    speedup = reference_seconds / vectorized_seconds
+
+    # Bit-identical: results and ledger totals.
+    assert np.array_equal(vectorized_result, reference_result)
+    assert np.array_equal(vectorized_result, vectors @ matrix)
+    reference_ledger = reference_device.chip.total_ledger()
+    vectorized_ledger = vectorized_device.chip.total_ledger()
+    assert reference_ledger.cycles == vectorized_ledger.cycles
+    assert reference_ledger.energy_pj == vectorized_ledger.energy_pj
+
+    payload = {
+        "benchmark": "kernel_speedup",
+        "matrix_shape": list(MATRIX_SHAPE),
+        "batch": BATCH,
+        "input_bits": INPUT_BITS,
+        "element_size": ELEMENT_SIZE,
+        "reference_ms": reference_seconds * 1e3,
+        "vectorized_ms": vectorized_seconds * 1e3,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "bit_identical": True,
+    }
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    (ARTIFACTS_DIR / "kernel_speedup.json").write_text(json.dumps(payload, indent=2))
+
+    # Append the headline numbers to the repo-root trajectory file.
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "reference_ms": round(reference_seconds * 1e3, 3),
+            "vectorized_ms": round(vectorized_seconds * 1e3, 3),
+            "speedup": round(speedup, 1),
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized engine is only {speedup:.1f}x faster than the reference "
+        f"engine (gate requires >= {REQUIRED_SPEEDUP}x): "
+        f"reference {reference_seconds * 1e3:.2f} ms, "
+        f"vectorized {vectorized_seconds * 1e3:.3f} ms"
+    )

@@ -2,10 +2,18 @@
 
 from .ace import AceConfig, AnalogComputeElement, MatrixHandle, MvmExecution, PartialProduct
 from .adc import AdcSpec, AnalogToDigitalConverter, RampAdc, SarAdc, make_adc
-from .bitslicing import ShiftAddPlan, ShiftAddStep, recombine, slice_inputs, slice_matrix
+from .bitslicing import (
+    ShiftAddPlan,
+    ShiftAddStep,
+    recombine,
+    slice_inputs,
+    slice_inputs_tensor,
+    slice_matrix,
+)
 from .compensation import CompensationPlan, ParasiticCompensation
 from .crossbar import AnalogCrossbar, CrossbarOutput
 from .dac import DacSpec, DigitalToAnalogConverter
+from .kernels import DEFAULT_ENGINE, ENGINES, ShardKernel, resolve_engine
 from .numbers import DifferentialPairs, EncodedMatrix, OffsetSubtraction
 
 __all__ = [
@@ -16,9 +24,11 @@ __all__ = [
     "AnalogToDigitalConverter",
     "CompensationPlan",
     "CrossbarOutput",
+    "DEFAULT_ENGINE",
     "DacSpec",
     "DifferentialPairs",
     "DigitalToAnalogConverter",
+    "ENGINES",
     "EncodedMatrix",
     "MatrixHandle",
     "MvmExecution",
@@ -27,10 +37,13 @@ __all__ = [
     "PartialProduct",
     "RampAdc",
     "SarAdc",
+    "ShardKernel",
     "ShiftAddPlan",
     "ShiftAddStep",
     "make_adc",
     "recombine",
+    "resolve_engine",
     "slice_inputs",
+    "slice_inputs_tensor",
     "slice_matrix",
 ]

@@ -24,6 +24,7 @@ from .adc import AdcSpec, AnalogToDigitalConverter, make_adc
 from .bitslicing import ShiftAddPlan, slice_inputs, slice_matrix
 from .crossbar import AnalogCrossbar
 from .dac import DigitalToAnalogConverter
+from .kernels import ShardKernel, build_shard_kernel
 from .numbers import DifferentialPairs, OffsetSubtraction
 
 __all__ = [
@@ -181,6 +182,7 @@ class AnalogComputeElement:
         self._free_arrays = list(range(self.config.num_arrays))
         self._handles: Dict[int, MatrixHandle] = {}
         self._matrices: Dict[int, np.ndarray] = {}
+        self._kernels: Dict[int, ShardKernel] = {}
         self._next_handle = 0
         self.enabled = True
 
@@ -341,6 +343,29 @@ class AnalogComputeElement:
         self._free_arrays.sort()
         self._handles.pop(handle.handle_id, None)
         self._matrices.pop(handle.handle_id, None)
+        self._kernels.pop(handle.handle_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Shard kernel cache (vectorized execution engine)                     #
+    # ------------------------------------------------------------------ #
+    def kernel_for(self, handle: MatrixHandle) -> ShardKernel:
+        """Stacked per-shard conductance tensors for ``handle``.
+
+        Built lazily on first use and cached per allocation; ``release``
+        (and therefore ``update_row`` / ``update_col``, which reprogram
+        through release + ``set_matrix``) invalidates the entry, so the
+        cache can never serve conductances of a stale programming.
+        """
+        kernel = self._kernels.get(handle.handle_id)
+        if kernel is None:
+            kernel = build_shard_kernel(self, handle)
+            self._kernels[handle.handle_id] = kernel
+        return kernel
+
+    @property
+    def cached_kernels(self) -> int:
+        """Number of allocations with a live shard kernel cache entry."""
+        return len(self._kernels)
 
     def stored_matrix(self, handle: MatrixHandle) -> np.ndarray:
         """The quantised integer matrix associated with ``handle``."""

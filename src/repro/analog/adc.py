@@ -93,6 +93,21 @@ class AnalogToDigitalConverter:
         """Energy to digitise ``num_bitlines`` outputs (pJ)."""
         raise NotImplementedError
 
+    def conversion_costs(
+        self, num_bitlines: int, num_adcs: int, active_bits: int | None = None
+    ) -> tuple[float, float]:
+        """``(latency_cycles, energy_pj)`` of one full-array conversion pass.
+
+        Convenience for callers that account latency and energy together
+        (the crossbar cost model and the vectorized execution engine, which
+        reconstructs per-step charges analytically instead of invoking the
+        converter once per partial product).
+        """
+        return (
+            self.conversion_latency(num_bitlines, num_adcs, active_bits),
+            self.conversion_energy_pj(num_bitlines, active_bits),
+        )
+
 
 class SarAdc(AnalogToDigitalConverter):
     """Successive-approximation ADC: 1-cycle conversions, multiplexed lanes."""

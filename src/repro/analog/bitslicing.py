@@ -18,7 +18,14 @@ import numpy as np
 
 from ..errors import QuantizationError
 
-__all__ = ["slice_matrix", "slice_inputs", "recombine", "ShiftAddStep", "ShiftAddPlan"]
+__all__ = [
+    "slice_matrix",
+    "slice_inputs",
+    "slice_inputs_tensor",
+    "recombine",
+    "ShiftAddStep",
+    "ShiftAddPlan",
+]
 
 
 def slice_matrix(matrix: np.ndarray, value_bits: int, bits_per_cell: int) -> List[np.ndarray]:
@@ -54,6 +61,26 @@ def slice_inputs(vector: np.ndarray, input_bits: int) -> List[np.ndarray]:
     if np.any(vector >= (1 << input_bits)):
         raise QuantizationError(f"input values exceed {input_bits} bits")
     return [((vector >> i) & 1).astype(np.int64) for i in range(input_bits)]
+
+
+def slice_inputs_tensor(vectors: np.ndarray, input_bits: int) -> np.ndarray:
+    """Bit-slice a whole batch of input vectors into one stacked tensor.
+
+    ``vectors`` has shape ``(batch, rows)``; the result has shape
+    ``(input_bits, batch, rows)`` with plane ``i`` holding bit ``i`` of every
+    element (least significant first).  Plane ``i`` is bit-identical to
+    ``slice_inputs(vectors, input_bits)[i]``; the stacked form is what the
+    vectorized execution engine feeds to its per-shard tensor contractions.
+    """
+    vectors = np.asarray(vectors)
+    if not np.issubdtype(vectors.dtype, np.integer):
+        raise QuantizationError("input bit-slicing expects an integer vector")
+    if np.any(vectors < 0):
+        raise QuantizationError("input bit-slicing expects non-negative inputs")
+    if np.any(vectors >= (1 << input_bits)):
+        raise QuantizationError(f"input values exceed {input_bits} bits")
+    planes = np.arange(input_bits, dtype=np.int64).reshape(-1, 1, 1)
+    return ((vectors[None, :, :] >> planes) & 1).astype(np.int64)
 
 
 def recombine(partials: Sequence[np.ndarray], shifts: Sequence[int]) -> np.ndarray:

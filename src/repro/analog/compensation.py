@@ -51,6 +51,24 @@ class CompensationPlan:
         raw = np.asarray(raw, dtype=np.int64)
         return (raw + self.factor(inputs)) // self.scale
 
+    def factors(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-vector compensation factors for a ``(batch, rows)`` input."""
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 2:
+            raise QuantizationError("factors expects a (batch, rows) input matrix")
+        if self.fixed_input_ones is not None:
+            return np.full(inputs.shape[0], self.fixed_input_ones, dtype=np.int64)
+        return np.count_nonzero(inputs, axis=1).astype(np.int64)
+
+    def apply_batch(self, raw: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`apply`: recover a whole ``(batch, cols)`` result.
+
+        Row ``b`` is bit-identical to ``apply(raw[b], inputs[b])`` -- the
+        recovery is integer arithmetic, so the vectorized form is exact.
+        """
+        raw = np.asarray(raw, dtype=np.int64)
+        return (raw + self.factors(inputs)[:, None]) // self.scale
+
 
 class ParasiticCompensation:
     """Remaps binary matrices to balanced +/-1 differential form."""
@@ -81,6 +99,14 @@ class ParasiticCompensation:
     def recover(self, raw: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Apply the post-MVM compensation factor (done in the DCE)."""
         return self.plan.apply(raw, inputs)
+
+    def recover_batch(self, raw: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`recover` for ``(batch, cols)`` raw results.
+
+        One vectorized integer op instead of a per-vector Python loop; row
+        ``b`` is bit-identical to ``recover(raw[b], inputs[b])``.
+        """
+        return self.plan.apply_batch(raw, inputs)
 
     def ir_drop_improvement(self, matrix01: np.ndarray, parasitics, inputs: np.ndarray | None = None) -> float:
         """Ratio of worst-case IR drop before vs after remapping.

@@ -28,7 +28,39 @@ from ..reram import ConductanceMapper, DeviceParameters, NoiseConfig, NoiseStack
 from .adc import AnalogToDigitalConverter, SarAdc
 from .dac import DigitalToAnalogConverter
 
-__all__ = ["AnalogCrossbar", "CrossbarOutput"]
+__all__ = [
+    "AnalogCrossbar",
+    "CrossbarOutput",
+    "normalised_column_sums",
+    "parasitic_signed_sums",
+]
+
+
+def normalised_column_sums(x, conductances, baseline, lsb):
+    """Column currents normalised to the value domain: ``(x @ g - b) / lsb``.
+
+    The Ohm/Kirchhoff current sum shared by every execution engine -- the
+    crossbar's looped reference path and the vectorized kernel layer both
+    compute signed column sums through this one expression, so the float
+    pipeline cannot drift between them.  Broadcasts over any leading stack
+    dimensions of ``x`` / ``conductances`` (NumPy dispatches the same 2-D
+    products either way).
+    """
+    return (np.matmul(x, conductances) - baseline) / lsb
+
+
+def parasitic_signed_sums(parasitics, x, input_bits_matrix, pos_g, neg_g, baseline, lsb):
+    """Signed value-domain sums of one binary input batch under IR drop.
+
+    ``input_bits_matrix`` is the raw ``(batch, rows)`` 0/1 matrix (the
+    parasitic solve is input-dependent), ``x`` its float view.  Single
+    source of truth for the parasitic branch of both execution engines.
+    """
+    p_eff = parasitics.apply_batch(pos_g, input_bits_matrix)
+    n_eff = parasitics.apply_batch(neg_g, input_bits_matrix)
+    pos_sum = (np.matmul(x[:, None, :], p_eff)[:, 0, :] - baseline) / lsb
+    neg_sum = (np.matmul(x[:, None, :], n_eff)[:, 0, :] - baseline) / lsb
+    return pos_sum - neg_sum
 
 
 @dataclass(frozen=True)
@@ -134,6 +166,40 @@ class AnalogCrossbar:
             raise DeviceError("crossbar has not been programmed")
         return self._positive_levels.shape
 
+    @property
+    def positive_levels(self) -> np.ndarray:
+        """Programmed positive-plane integer levels (pre conductance mapping)."""
+        if self._positive_levels is None:
+            raise DeviceError("crossbar has not been programmed")
+        return self._positive_levels
+
+    @property
+    def negative_levels(self) -> np.ndarray:
+        """Programmed negative-plane integer levels (pre conductance mapping)."""
+        if self._negative_levels is None:
+            raise DeviceError("crossbar has not been programmed")
+        return self._negative_levels
+
+    @property
+    def positive_conductances(self) -> np.ndarray:
+        """Programmed positive-plane conductances (post write-verify noise).
+
+        These are the frozen post-programming values; read-time error
+        sources (read noise, drift) are applied on top of them per MVM.
+        The vectorized execution engine snapshots them into its per-shard
+        kernel cache.
+        """
+        if self._positive_g is None:
+            raise DeviceError("crossbar has not been programmed")
+        return self._positive_g
+
+    @property
+    def negative_conductances(self) -> np.ndarray:
+        """Programmed negative-plane conductances (post write-verify noise)."""
+        if self._negative_g is None:
+            raise DeviceError("crossbar has not been programmed")
+        return self._negative_g
+
     # ------------------------------------------------------------------ #
     # One-bit-input MVM                                                    #
     # ------------------------------------------------------------------ #
@@ -223,25 +289,21 @@ class AnalogCrossbar:
 
         pos_g = self.noise.read(self._positive_g)
         neg_g = self.noise.read(self._negative_g)
+        x = input_bit_matrix.astype(float)
+        lsb = self.mapper.lsb_conductance()
+        baseline = self.device.g_min * x.sum(axis=1, keepdims=True)
         if self.parasitics is not None:
-            # IR drop depends on the individual input pattern; fall back to a
-            # per-vector application of the parasitic network solve.
-            signed = np.empty((batch, used_cols), dtype=float)
-            lsb = self.mapper.lsb_conductance()
-            for index in range(batch):
-                bits = input_bit_matrix[index]
-                p = self.parasitics.apply(pos_g, bits)
-                n = self.parasitics.apply(neg_g, bits)
-                x = bits.astype(float)
-                baseline = self.device.g_min * x.sum()
-                signed[index] = (x @ p - baseline) / lsb - (x @ n - baseline) / lsb
+            # IR drop depends on the individual input pattern, but the
+            # parasitic network solve is element-wise per vector, so the
+            # whole batch runs through one stacked attenuation + matmul pass
+            # (bit-identical to solving vector by vector).
+            signed = parasitic_signed_sums(
+                self.parasitics, x, input_bit_matrix, pos_g, neg_g, baseline, lsb
+            )
         else:
-            x = input_bit_matrix.astype(float)
-            lsb = self.mapper.lsb_conductance()
-            baseline = self.device.g_min * x.sum(axis=1, keepdims=True)
-            pos_sum = (x @ pos_g - baseline) / lsb
-            neg_sum = (x @ neg_g - baseline) / lsb
-            signed = pos_sum - neg_sum
+            signed = normalised_column_sums(
+                x, pos_g, baseline, lsb
+            ) - normalised_column_sums(x, neg_g, baseline, lsb)
         quantised = self.adc.convert(signed)
 
         per_vector_latency = (

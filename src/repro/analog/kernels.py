@@ -1,0 +1,445 @@
+"""Vectorized bit-plane execution engine for analog MVMs.
+
+The looped ("reference") engine walks a four-deep Python loop over
+``input_bit x row_tile x col_tile x weight_slice``, issuing one tiny
+crossbar call per step.  That is faithful to the hardware schedule but the
+interpreter overhead dwarfs the arithmetic.  This module collapses the same
+schedule into a handful of NumPy tensor contractions:
+
+* all input bit-planes of a batch are stacked into one
+  ``(input_bits, batch, rows)`` tensor (:func:`~repro.analog.bitslicing.slice_inputs_tensor`);
+* the per-shard conductance slices are stacked once at programming time into
+  ``(num_slices, rows, cols)`` tensors -- the **shard kernel cache** held by
+  the owning :class:`~repro.analog.ace.AnalogComputeElement` and invalidated
+  whenever the allocation is released or reprogrammed;
+* every ``(input_bit, weight_slice)`` partial product of a shard is computed
+  by one broadcast matmul, and ADC quantisation runs as a single
+  element-wise pass over the stacked output tensor.
+
+Bit-for-bit equivalence with the reference engine is a hard invariant, not
+an aspiration: the stacked matmuls hand BLAS the *same* ``(batch, rows) @
+(rows, cols)`` operands per step (broadcasting only moves the loop out of
+Python), stochastic read noise is drawn in bulk from each crossbar's own
+generator in exactly the per-step order the reference engine consumes it,
+and latency/energy ledger charges are re-issued value-for-value in the
+reference charge order so even the floating-point accumulation of the
+:class:`~repro.metrics.CostLedger` matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError, ConfigurationError, QuantizationError
+from .bitslicing import ShiftAddPlan, slice_inputs_tensor
+from .crossbar import normalised_column_sums, parasitic_signed_sums
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "AceForward",
+    "ShardKernel",
+    "TileForward",
+    "TileKernel",
+    "ace_forward_vectorized",
+    "build_shard_kernel",
+    "resolve_engine",
+]
+
+#: Engine names accepted everywhere an ``engine=`` knob exists.
+ENGINES = ("vectorized", "reference")
+
+#: Engine used when callers pass ``engine=None``.
+DEFAULT_ENGINE = "vectorized"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Map ``None`` to the library default and validate explicit choices."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown execution engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+@dataclass(frozen=True)
+class TileKernel:
+    """Cached tensors and geometry for one (row tile, column tile) shard."""
+
+    row_tile: int
+    col_tile: int
+    row_start: int
+    row_end: int
+    col_offset: int
+    used_rows: int
+    used_cols: int
+    array_ids: Tuple[int, ...]
+    #: Crossbars holding this shard's weight slices, least significant first.
+    crossbars: Tuple[object, ...]
+    #: Stacked positive-plane conductances, shape ``(num_slices, rows, cols)``.
+    pos: np.ndarray
+    #: Stacked negative-plane conductances, same shape as ``pos``.
+    neg: np.ndarray
+    #: Weight slices recombined to signed values (``sum_s (pos_s - neg_s) <<
+    #: s*bits_per_cell``), as exact float64 integers -- the operand of the
+    #: proven-exact integer fast path.
+    recombined: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardKernel:
+    """The per-allocation kernel cache: stacked conductances for every shard.
+
+    Built lazily on the first vectorized MVM against a handle and cached by
+    the owning ACE (``AnalogComputeElement.kernel_for``); released together
+    with the handle, so ``update_row`` / ``update_col`` -- which reprogram
+    through release + set_matrix -- can never serve stale tensors.
+    """
+
+    handle_id: int
+    num_slices: int
+    bits_per_cell: int
+    lsb_conductance: float
+    g_min: float
+    tiles: Tuple[TileKernel, ...]
+    #: Whether the proven-exact integer fast path may serve this allocation
+    #: (ideal conductances and a verified-lossless ADC; see
+    #: :func:`exact_path_eligible`).
+    exact: bool = False
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of (row tile, column tile) shards in the cache."""
+        return len(self.tiles)
+
+
+def exact_path_eligible(crossbars) -> bool:
+    """Whether the analog chain of these crossbars is provably lossless.
+
+    The general engine mirrors the reference float pipeline operation for
+    operation.  A much faster path is valid when the quantise/recover chain
+    is the identity on every partial product the schedule can produce, i.e.
+    ``rint(adc.convert(v + eps)) == v`` for every reachable integer ``v``
+    and any accumulated float rounding ``eps``.  That holds exactly when
+
+    * the programmed conductances are the *ideal* value mapping (no
+      programming noise, no stuck-at faults) -- checked bit-for-bit against
+      the mapper, not inferred from config flags; and
+    * the ADC grid is fine enough that one code step plus the worst
+      boundary flip stays below half an integer (``lsb < 0.999``), verified
+      by quantising every reachable integer and checking it round-trips.
+
+    Read noise, drift, and parasitics are per-call concerns checked by the
+    forward pass itself.
+    """
+    for crossbar in crossbars:
+        adc = crossbar.adc
+        if adc.lsb >= 0.999:
+            return False
+        ideal_pos = crossbar.mapper.value_to_conductance(crossbar.positive_levels)
+        ideal_neg = crossbar.mapper.value_to_conductance(crossbar.negative_levels)
+        if not np.array_equal(crossbar.positive_conductances, ideal_pos):
+            return False
+        if not np.array_equal(crossbar.negative_conductances, ideal_neg):
+            return False
+        lo = int(np.ceil(adc.min_value))
+        hi = int(np.floor(adc.max_value))
+        candidates = np.arange(lo, hi + 1, dtype=float)
+        if not np.array_equal(np.rint(adc.convert(candidates)), candidates):
+            return False
+    return True
+
+
+def build_shard_kernel(ace, handle) -> ShardKernel:
+    """Snapshot the programmed conductances of ``handle`` into stacked tensors.
+
+    The crossbars are walked in the allocation order of ``set_matrix``
+    (row tile, then column tile, then weight slice), so ``array_ids`` of
+    each tile kernel mirrors the reference engine's array grid.
+    """
+    rows, cols = handle.shape
+    array_rows = ace.config.array_rows
+    array_cols = ace.config.array_cols
+    tiles: List[TileKernel] = []
+    index = 0
+    for row_tile in range(handle.row_tiles):
+        r0 = row_tile * array_rows
+        r1 = min(rows, r0 + array_rows)
+        for col_tile in range(handle.col_tiles):
+            c0 = col_tile * array_cols
+            ids = handle.array_ids[index: index + handle.num_slices]
+            index += handle.num_slices
+            crossbars = tuple(ace.crossbar(array_id) for array_id in ids)
+            pos = np.stack([xb.positive_conductances for xb in crossbars])
+            neg = np.stack([xb.negative_conductances for xb in crossbars])
+            used_rows, used_cols = crossbars[0].programmed_shape
+            shifts = (
+                np.arange(handle.num_slices, dtype=np.int64)
+                * handle.bits_per_cell
+            )
+            levels = np.stack(
+                [
+                    xb.positive_levels.astype(np.int64)
+                    - xb.negative_levels.astype(np.int64)
+                    for xb in crossbars
+                ]
+            )
+            recombined = (levels << shifts[:, None, None]).sum(axis=0).astype(float)
+            tiles.append(
+                TileKernel(
+                    row_tile=row_tile,
+                    col_tile=col_tile,
+                    row_start=r0,
+                    row_end=r1,
+                    col_offset=c0,
+                    used_rows=used_rows,
+                    used_cols=used_cols,
+                    array_ids=ids,
+                    crossbars=crossbars,
+                    pos=pos,
+                    neg=neg,
+                    recombined=recombined,
+                )
+            )
+    sample = tiles[0].crossbars[0]
+    return ShardKernel(
+        handle_id=handle.handle_id,
+        num_slices=handle.num_slices,
+        bits_per_cell=handle.bits_per_cell,
+        lsb_conductance=sample.mapper.lsb_conductance(),
+        g_min=ace.device.g_min,
+        tiles=tuple(tiles),
+        exact=all(exact_path_eligible(tile.crossbars) for tile in tiles),
+    )
+
+
+@dataclass(frozen=True)
+class TileForward:
+    """Post-ADC partial products of one shard for a whole batched MVM.
+
+    Exactly one of ``codes`` / ``totals`` is set: the general engine carries
+    the full post-ADC tensor, while the proven-exact integer path collapses
+    the shift-and-add over input bits and weight slices up front.
+    """
+
+    kernel: TileKernel
+    #: ADC output values, shape ``(num_slices, input_bits, batch, used_cols)``.
+    codes: Optional[np.ndarray] = None
+    #: Pre-summed shifted partial products, shape ``(batch, used_cols)``.
+    totals: Optional[np.ndarray] = None
+
+
+@dataclass
+class AceForward:
+    """Everything the digital side needs after a vectorized analog pass."""
+
+    handle: object
+    batch: int
+    input_bits: int
+    plan: ShiftAddPlan
+    tiles: List[TileForward]
+    analog_cycles: float = 0.0
+    analog_energy_pj: float = 0.0
+
+    @property
+    def num_partials(self) -> int:
+        """Partial products the reference engine would have produced."""
+        return self.plan.num_partial_products * self.handle.row_tiles * self.handle.col_tiles
+
+    def tile_totals(self, tile: TileForward) -> np.ndarray:
+        """Shift-and-add sum of one shard's partial products, pre-truncation.
+
+        For the general engine this applies the same ``rint -> int64 ->
+        << shift -> accumulate`` sequence the shift units and DCE perform,
+        vectorized over the whole ``(num_slices, input_bits)`` plane; the
+        exact path already carries the sum.
+        """
+        if tile.totals is not None:
+            return tile.totals
+        shifts = (
+            np.arange(self.input_bits, dtype=np.int64)[None, :]
+            + np.arange(self.plan.weight_slices, dtype=np.int64)[:, None]
+            * self.plan.bits_per_cell
+        )
+        codes = np.rint(tile.codes).astype(np.int64)
+        return (codes << shifts[:, :, None, None]).sum(axis=(0, 1))
+
+    def raw_reduce(self) -> np.ndarray:
+        """Shift-and-add reduction without DCE truncation (``reduce()`` parity)."""
+        rows, cols = self.handle.shape
+        result = np.zeros((self.batch, cols), dtype=np.int64)
+        for tile in self.tiles:
+            kernel = tile.kernel
+            result[:, kernel.col_offset: kernel.col_offset + kernel.used_cols] += (
+                self.tile_totals(tile)
+            )
+        return result
+
+
+def _validate_inputs(vectors: np.ndarray, input_bits: int) -> None:
+    """Range checks of ``slice_inputs_tensor`` without building bit planes.
+
+    The exact integer path never materialises the bit-plane tensor, but it
+    must reject invalid inputs with the same errors the general engine (and
+    the reference engine's ``slice_inputs``) raises.
+    """
+    if not np.issubdtype(vectors.dtype, np.integer):
+        raise QuantizationError("input bit-slicing expects an integer vector")
+    if np.any(vectors < 0):
+        raise QuantizationError("input bit-slicing expects non-negative inputs")
+    if np.any(vectors >= (1 << input_bits)):
+        raise QuantizationError(f"input values exceed {input_bits} bits")
+
+
+def _tile_codes(
+    ace,
+    kernel: ShardKernel,
+    tile: TileKernel,
+    bit_planes: np.ndarray,
+    input_bits: int,
+) -> np.ndarray:
+    """ADC output values of one shard, shape ``(slices, input_bits, batch, cols)``."""
+    bits_int = np.ascontiguousarray(bit_planes[:, :, tile.row_start: tile.row_end])
+    x = bits_int.astype(float)
+    lsb = kernel.lsb_conductance
+    baseline = kernel.g_min * x.sum(axis=2)  # (input_bits, batch)
+    adc = tile.crossbars[0].adc
+
+    read_active = tile.crossbars[0].noise.read_noise_active
+    parasitics = ace.parasitics
+
+    if not read_active and parasitics is None:
+        # Fast path: one broadcast matmul per conductance plane.  Each
+        # (slice, input bit) pair is the same (batch, rows) @ (rows, cols)
+        # product the reference engine issues, so BLAS sees identical
+        # operands and the outputs match bit for bit.
+        stacked_baseline = baseline[..., None]
+        signed = normalised_column_sums(
+            x[None, :, :, :], tile.pos[:, None, :, :], stacked_baseline, lsb
+        ) - normalised_column_sums(
+            x[None, :, :, :], tile.neg[:, None, :, :], stacked_baseline, lsb
+        )
+        return adc.convert(signed)
+
+    batch = x.shape[1]
+    signed = np.empty(
+        (kernel.num_slices, input_bits, batch, tile.used_cols), dtype=float
+    )
+    for slice_index, crossbar in enumerate(tile.crossbars):
+        # One bulk draw per crossbar reproduces the reference engine's
+        # per-step consumption of that crossbar's private generator:
+        # (positive plane, negative plane) per input bit, in bit order.
+        pos_planes, neg_planes = crossbar.noise.read_pair_bulk(
+            tile.pos[slice_index], tile.neg[slice_index], input_bits
+        )
+        if parasitics is None:
+            stacked_baseline = baseline[..., None]
+            signed[slice_index] = normalised_column_sums(
+                x, pos_planes, stacked_baseline, lsb
+            ) - normalised_column_sums(x, neg_planes, stacked_baseline, lsb)
+        else:
+            for bit in range(input_bits):
+                signed[slice_index, bit] = parasitic_signed_sums(
+                    parasitics, x[bit], bits_int[bit],
+                    pos_planes[bit], neg_planes[bit],
+                    baseline[bit][:, None], lsb,
+                )
+    return adc.convert(signed)
+
+
+def ace_forward_vectorized(
+    ace,
+    handle,
+    vectors: np.ndarray,
+    input_bits: int = 8,
+    active_adc_bits: Optional[int] = None,
+) -> AceForward:
+    """Vectorized equivalent of ``AnalogComputeElement.execute_mvm_batch``.
+
+    Computes every post-ADC partial product of the batch with stacked tensor
+    ops and re-issues the reference engine's ``ace.mvm`` ledger charges
+    analytically (same values, same order), so results, cycle totals, and
+    energy totals are bit-identical to the looped schedule.
+    """
+    if not ace.enabled:
+        raise AllocationError("the ACE of this tile has been disabled")
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+    rows, cols = handle.shape
+    if vectors.shape[1] != rows:
+        raise QuantizationError(
+            f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
+        )
+    batch = vectors.shape[0]
+    plan = ShiftAddPlan(
+        input_bits=input_bits,
+        weight_slices=handle.num_slices,
+        bits_per_cell=handle.bits_per_cell,
+    )
+    kernel = ace.kernel_for(handle)
+    exact = (
+        kernel.exact
+        and ace.parasitics is None
+        and not kernel.tiles[0].crossbars[0].noise.read_noise_active
+    )
+    if exact:
+        _validate_inputs(vectors, input_bits)
+        vectors_float = vectors.astype(float)
+    else:
+        bit_planes = slice_inputs_tensor(vectors, input_bits)
+
+    start = ace.ledger.snapshot()
+    forward = AceForward(
+        handle=handle, batch=batch, input_bits=input_bits, plan=plan, tiles=[]
+    )
+    step_costs: List[Tuple[float, float]] = []
+    for tile in kernel.tiles:
+        if exact:
+            # Proven-exact fast path: with ideal conductances and a
+            # verified-lossless ADC, every (input bit, slice) partial
+            # product survives the quantise/recover chain exactly, so the
+            # whole bit-plane schedule collapses into one exact-integer
+            # matmul against the recombined weight slices (all values stay
+            # far below 2**53, so float64 arithmetic is exact).
+            totals = (
+                vectors_float[:, tile.row_start: tile.row_end] @ tile.recombined
+            ).astype(np.int64)
+            forward.tiles.append(TileForward(kernel=tile, totals=totals))
+        else:
+            forward.tiles.append(
+                TileForward(
+                    kernel=tile,
+                    codes=_tile_codes(ace, kernel, tile, bit_planes, input_bits),
+                )
+            )
+        sample = tile.crossbars[0]
+        adc_latency, adc_energy = sample.adc.conversion_costs(
+            tile.used_cols, sample.num_adcs, active_adc_bits
+        )
+        latency = sample.dac.drive_latency(tile.used_rows) + 1.0 + adc_latency
+        energy = (
+            sample.dac.drive_energy_pj(tile.used_rows)
+            + sample.row_periphery_power_mw * 1.0
+            + tile.used_cols * sample.sample_hold_energy_pj
+            + adc_energy
+        )
+        step_costs.append((batch * latency, batch * energy))
+        for crossbar in tile.crossbars:
+            crossbar.mvm_count += input_bits * batch
+
+    # Re-issue the reference engine's charge stream: one ``ace.mvm`` charge
+    # per (input bit, tile, slice) step, input bits outermost, so the
+    # floating-point accumulation inside the ledger is reproduced exactly.
+    charge = ace.ledger.charge
+    for _ in range(input_bits):
+        for cycles, energy_pj in step_costs:
+            for _ in range(kernel.num_slices):
+                charge("ace.mvm", cycles=cycles, energy_pj=energy_pj)
+    end = ace.ledger.snapshot()
+    forward.analog_cycles = end.cycles - start.cycles
+    forward.analog_energy_pj = end.energy_pj - start.energy_pj
+    return forward

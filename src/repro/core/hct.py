@@ -34,6 +34,7 @@ from ..analog.ace import (
     MvmExecution,
 )
 from ..analog.compensation import ParasiticCompensation
+from ..analog.kernels import AceForward, ace_forward_vectorized, resolve_engine
 from ..digital.dce import DigitalComputeElement
 from ..digital.logic import get_family
 from ..digital.microops import WordOpCost
@@ -306,18 +307,29 @@ class HybridComputeTile:
         optimized: bool = True,
         compensation: Optional[ParasiticCompensation] = None,
         active_adc_bits: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> HctBatchMvmResult:
         """Run a whole batch of hybrid MVMs through the tile in one pass.
 
         ``vectors`` has shape ``(batch, rows)``.  The arbiter serialises the
-        batch as one analog-domain reservation, the ACE streams the batch
-        through every (input bit, tile, slice) step with a single vectorised
-        crossbar operation per step, and the DCE reduction runs as one NumPy
-        sum per column tile with analytically reconstructed µop costs --
-        replacing ``batch * partials`` gate-level write+ADD sequences.  In
-        the noise-free configuration the returned rows are bit-identical to
-        ``batch`` sequential :meth:`execute_mvm` calls.
+        batch as one analog-domain reservation and the whole batch streams
+        through every (input bit, tile, slice) step of the bit-sliced
+        schedule.  ``engine`` picks the host-side implementation:
+
+        * ``"vectorized"`` (the default) collapses the schedule into stacked
+          tensor contractions over the ACE's shard kernel cache and
+          reconstructs all cost accounting analytically;
+        * ``"reference"`` walks the per-step crossbar loop.
+
+        The two engines are bit-identical -- results, ledger totals, and
+        timelines -- which ``tests/test_kernels.py`` pins down.  In the
+        noise-free configuration the returned rows also match ``batch``
+        sequential :meth:`execute_mvm` calls bit for bit.
         """
+        if resolve_engine(engine) == "vectorized":
+            return self._execute_mvm_batch_vectorized(
+                handle, vectors, input_bits, optimized, compensation, active_adc_bits
+            )
         if not self.analog_enabled:
             raise AllocationError("the ACE of this tile has been disabled")
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
@@ -333,9 +345,7 @@ class HybridComputeTile:
         if not self.digital_post_processing:
             values = execution.reduce()
             if compensation is not None:
-                values = np.stack(
-                    [compensation.recover(values[i], vectors[i]) for i in range(batch)]
-                )
+                values = compensation.recover_batch(values, vectors)
             cycles = execution.analog_cycles
             return HctBatchMvmResult(
                 values=values,
@@ -349,9 +359,7 @@ class HybridComputeTile:
 
         values, reduce_costs, slots_saved = self._reduce_batch_in_dce(execution, output_base)
         if compensation is not None:
-            values = np.stack(
-                [compensation.recover(values[i], vectors[i]) for i in range(batch)]
-            )
+            values = compensation.recover_batch(values, vectors)
 
         optimized_cycles, breakdown = self._timeline(
             execution, reduce_costs, optimized=True, batch=batch
@@ -376,6 +384,75 @@ class HybridComputeTile:
             energy_pj=self.ledger.energy_pj - start_energy,
             breakdown=breakdown,
             num_partial_products=len(execution.partials),
+            iiu_slots_saved=slots_saved,
+        )
+
+    def _execute_mvm_batch_vectorized(
+        self,
+        handle: MatrixHandle,
+        vectors: np.ndarray,
+        input_bits: int,
+        optimized: bool,
+        compensation: Optional[ParasiticCompensation],
+        active_adc_bits: Optional[int],
+    ) -> HctBatchMvmResult:
+        """The vectorized bit-plane engine: tensor ops + analytic accounting."""
+        if not self.analog_enabled:
+            raise AllocationError("the ACE of this tile has been disabled")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+        batch = vectors.shape[0]
+        if batch == 0:
+            raise ExecutionError("execute_mvm_batch needs at least one input vector")
+        start_energy = self.ledger.energy_pj
+        forward = ace_forward_vectorized(
+            self.ace, handle, vectors, input_bits=input_bits,
+            active_adc_bits=active_adc_bits,
+        )
+
+        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
+        if not self.digital_post_processing:
+            values = forward.raw_reduce()
+            if compensation is not None:
+                values = compensation.recover_batch(values, vectors)
+            cycles = forward.analog_cycles
+            return HctBatchMvmResult(
+                values=values,
+                batch=batch,
+                optimized_cycles=cycles,
+                unoptimized_cycles=cycles,
+                energy_pj=self.ledger.energy_pj - start_energy,
+                breakdown={"analog": cycles},
+                num_partial_products=forward.num_partials,
+            )
+
+        values, add_info, slots_saved = self._reduce_batch_analytic(forward, output_base)
+        if compensation is not None:
+            values = compensation.recover_batch(values, vectors)
+
+        shim = BatchMvmExecution(handle=handle, batch=batch, plan=forward.plan)
+        optimized_cycles, breakdown = self._timeline(
+            shim, (), optimized=True, batch=batch, add_info=add_info
+        )
+        unoptimized_cycles, _ = self._timeline(
+            shim, (), optimized=False, batch=batch, add_info=add_info
+        )
+
+        for tile in range(handle.col_tiles):
+            self.arbiter.acquire(
+                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
+            )
+        charged = optimized_cycles if optimized else unoptimized_cycles
+        self._clock += charged
+        self.ledger.charge("hct.mvm_batch", cycles=charged)
+
+        return HctBatchMvmResult(
+            values=values,
+            batch=batch,
+            optimized_cycles=optimized_cycles,
+            unoptimized_cycles=unoptimized_cycles,
+            energy_pj=self.ledger.energy_pj - start_energy,
+            breakdown=breakdown,
+            num_partial_products=forward.num_partials,
             iiu_slots_saved=slots_saved,
         )
 
@@ -471,12 +548,63 @@ class HybridComputeTile:
             result[:, col_offset: col_offset + tile_width] = reduced[:, :tile_width]
         return result, all_costs, slots_saved
 
+    def _reduce_batch_analytic(self, forward: AceForward, output_base: int):
+        """Vectorized-engine DCE reduction with analytic µop reconstruction.
+
+        Computes the shift-and-add sum of every column tile as one integer
+        tensor reduction, then re-issues the exact accounting the reference
+        path's ``inject_reduction_batch`` performs: the same ``dce.write`` /
+        ``dce.boolean`` ledger charges, op-log entries, IIU statistics, and
+        accumulator-register state.  Returns ``(values, (n_adds,
+        add_uops_per_bit), slots_saved)`` where ``add_info`` feeds the
+        timeline model without materialising per-partial cost lists.
+        """
+        handle = forward.handle
+        rows, cols = handle.shape
+        batch = forward.batch
+        partials_per_col_tile = (
+            forward.plan.num_partial_products * handle.row_tiles
+        )
+        result = np.zeros((batch, cols), dtype=np.int64)
+        slots_saved = 0
+        n_adds = 0
+        add_uops = 12.0
+
+        for col_tile in range(handle.col_tiles):
+            pipeline = self.dce.pipeline(output_base + col_tile)
+            tiles = [t for t in forward.tiles if t.kernel.col_tile == col_tile]
+            if not tiles:
+                continue
+            reduced = forward.tile_totals(tiles[0]).copy()
+            for tile in tiles[1:]:
+                reduced += forward.tile_totals(tile)
+            depth = pipeline.depth
+            if depth < 64:
+                mask = np.int64((1 << depth) - 1)
+                sign = np.int64(1) << (depth - 1)
+                reduced = ((reduced & mask) ^ sign) - sign
+
+            width = reduced.shape[1]
+            add_uops = float(pipeline.add_uops_per_bit)
+            _, saved = self.iiu.account_reduction_batch(
+                pipeline, partials_per_col_tile, batch, width
+            )
+            pipeline.set_vr_bits(0, reduced[-1])
+            slots_saved += saved
+            self.transpose_unit.vector_count += batch * partials_per_col_tile
+            n_adds += batch * partials_per_col_tile
+
+            col_offset = tiles[0].kernel.col_offset
+            result[:, col_offset: col_offset + width] = reduced[:, :width]
+        return result, (n_adds, add_uops), slots_saved
+
     def _timeline(
         self,
         execution,
         reduce_costs: Sequence[WordOpCost],
         optimized: bool,
         batch: int = 1,
+        add_info: Optional[tuple] = None,
     ):
         """Wall-clock latency of the MVM under the two schedules of Figure 10.
 
@@ -504,8 +632,14 @@ class HybridComputeTile:
         transfer = self.shift_unit.transfer_cycles(cols_per_tile)
         write = float(rows_per_write)
 
-        add_costs = [c for c in reduce_costs if c.name == "add"]
-        add_uops_per_bit = add_costs[0].uops_per_bit if add_costs else 12.0
+        if add_info is not None:
+            # Vectorized engine: the ADD stream is described analytically
+            # instead of by materialised per-partial cost objects.
+            n_adds, add_uops_per_bit = add_info
+        else:
+            add_costs = [c for c in reduce_costs if c.name == "add"]
+            n_adds = len(add_costs)
+            add_uops_per_bit = add_costs[0].uops_per_bit if add_costs else 12.0
         depth = self.config.dce.pipeline_depth
 
         breakdown: Dict[str, float] = {}
@@ -517,8 +651,8 @@ class HybridComputeTile:
             step_cost = max(per_step_analog, transfer, write)
             analog_phase = steps * step_cost
             add_stream = (
-                add_uops_per_bit * depth + max(0, len(add_costs) - 1) * add_uops_per_bit
-                if add_costs
+                add_uops_per_bit * depth + max(0, n_adds - 1) * add_uops_per_bit
+                if n_adds
                 else 0.0
             )
             breakdown["analog_and_transfer"] = analog_phase

@@ -107,6 +107,49 @@ class InstructionInjectionUnit:
         self.front_end_slots_saved += saved
         return costs, saved
 
+    def account_reduction_batch(
+        self,
+        pipeline: BitPipeline,
+        num_partials: int,
+        batch: int,
+        width: int,
+    ) -> Tuple[List[WordOpCost], int]:
+        """Analytically account one batched write+ADD reduction stream.
+
+        The single source of truth for the cost side of a batched reduction:
+        both :meth:`inject_reduction_batch` (the reference engine) and the
+        vectorized engine's ``HybridComputeTile._reduce_batch_analytic``
+        charge through here, so the two engines cannot drift apart.  Charges
+        the ``dce.write`` / ``dce.boolean`` energy the gate-level path would
+        accumulate (every staged write touches one device per bit per
+        transferred element; every ADD executes its NOR network on all rows
+        of all bit arrays), extends the pipeline op log, and updates the
+        IIU's injection statistics.
+
+        Returns ``(costs, slots_saved)``.
+        """
+        add_uops = float(pipeline.add_uops_per_bit)
+        depth, rows = pipeline.depth, pipeline.rows
+        write = WordOpCost("write_vr", WordOpKind.WRITE, 1.0, depth, rows)
+        add = WordOpCost("add", WordOpKind.CARRY, add_uops, depth, rows)
+        num_ops = batch * num_partials
+        costs: List[WordOpCost] = [write, add] * num_ops
+        nor_energy = pipeline.family.primitive("NOR").energy_per_row_pj
+        pipeline.ledger.charge(
+            "dce.write", energy_pj=num_ops * pipeline.WRITE_ENERGY_PJ * width * depth
+        )
+        pipeline.ledger.charge(
+            "dce.boolean", energy_pj=num_ops * add_uops * depth * nor_energy * rows
+        )
+        pipeline.op_log.extend(costs)
+
+        self.injections += 1
+        # Equal to ``sum(c.total_uops for c in costs)``: the per-op uop
+        # counts are integral, so the product is exact.
+        saved = int(num_ops * (write.total_uops + add.total_uops))
+        self.front_end_slots_saved += saved
+        return costs, saved
+
     def inject_reduction_batch(
         self,
         pipeline: BitPipeline,
@@ -121,15 +164,16 @@ class InstructionInjectionUnit:
         per partial product.  Instead of executing ``batch * len(partials)``
         gate-level write+ADD sequences (the per-element path of
         :meth:`inject_reduction`), the reduction is a single NumPy sum; the
-        µop stream the hardware would execute is reconstructed analytically so
-        cycle, energy, and front-end-slot accounting match the gate path.
+        µop stream the hardware would execute is reconstructed analytically
+        (:meth:`account_reduction_batch`) so cycle, energy, and
+        front-end-slot accounting match the gate path.
 
         Returns ``(reduced, costs, slots_saved)`` where ``reduced`` is the
         ``(batch, width)`` accumulator contents after the stream.
         """
         stacked = np.stack([np.asarray(v, dtype=np.int64) for v in partial_values])
         batch, width = stacked.shape[1], stacked.shape[2]
-        depth, rows = pipeline.depth, pipeline.rows
+        depth = pipeline.depth
         reduced = stacked.sum(axis=0)
         if depth < 64:
             # Gate-level adds wrap modulo 2**depth and the accumulator is read
@@ -138,29 +182,11 @@ class InstructionInjectionUnit:
             sign = np.int64(1) << (depth - 1)
             reduced = ((reduced & mask) ^ sign) - sign
 
-        add_uops = float(pipeline.add_uops_per_bit)
-        write = WordOpCost("write_vr", WordOpKind.WRITE, 1.0, depth, rows)
-        add = WordOpCost("add", WordOpKind.CARRY, add_uops, depth, rows)
-        costs: List[WordOpCost] = [write, add] * (batch * len(partial_values))
-        # Energy parity with the gate path: every staged write touches one
-        # device per bit per transferred element, every ADD executes its NOR
-        # network on all ``rows`` rows of all ``depth`` arrays.
-        nor_energy = pipeline.family.primitive("NOR").energy_per_row_pj
-        num_ops = batch * len(partial_values)
-        pipeline.ledger.charge(
-            "dce.write", energy_pj=num_ops * pipeline.WRITE_ENERGY_PJ * width * depth
+        costs, saved = self.account_reduction_batch(
+            pipeline, len(partial_values), batch, width
         )
-        pipeline.ledger.charge(
-            "dce.boolean", energy_pj=num_ops * add_uops * depth * nor_energy * rows
-        )
-        pipeline.op_log.extend(costs)
-
         # Leave the accumulator VR holding the last vector's reduction so the
         # pipeline state matches the end of the hardware stream (the bulk
         # charges above already cover this write).
         pipeline.set_vr_bits(accumulator_vr, reduced[-1])
-
-        self.injections += 1
-        saved = int(sum(c.total_uops for c in costs))
-        self.front_end_slots_saved += saved
         return reduced, costs, saved

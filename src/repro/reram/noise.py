@@ -105,6 +105,38 @@ class ReadNoiseModel:
         noise = rng.normal(0.0, self.sigma, size=conductances.shape) * conductances
         return np.clip(conductances + noise, 0.0, None)
 
+    def apply_pair_bulk(
+        self,
+        positive: np.ndarray,
+        negative: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        """``count`` successive (positive, negative) read perturbations at once.
+
+        The vectorized execution engine consumes read noise in bulk: one
+        generator draw of shape ``(count, 2) + plane_shape`` replays exactly
+        the stream ``count`` alternating ``apply(positive)`` /
+        ``apply(negative)`` calls would consume (NumPy generators fill
+        arrays in C order), so batched and per-step execution see
+        bit-identical conductances.  Keep the perturbation formula in sync
+        with :meth:`apply` -- it is the same
+        ``clip(g + normal * g, 0, None)`` model, drawn ``count`` planes at a
+        time.  Returns ``(positive_stack, negative_stack)`` of shape
+        ``(count,) + plane_shape``.
+        """
+        positive = np.asarray(positive, dtype=float)
+        negative = np.asarray(negative, dtype=float)
+        if self.sigma == 0.0:
+            return (
+                np.broadcast_to(positive, (count,) + positive.shape),
+                np.broadcast_to(negative, (count,) + negative.shape),
+            )
+        draw = rng.normal(0.0, self.sigma, size=(count, 2) + positive.shape)
+        positive_stack = np.clip(positive[None] + draw[:, 0] * positive[None], 0.0, None)
+        negative_stack = np.clip(negative[None] + draw[:, 1] * negative[None], 0.0, None)
+        return positive_stack, negative_stack
+
 
 class DriftModel:
     """Conductance drift over time.
@@ -207,3 +239,27 @@ class NoiseStack:
         if self.config.read_noise:
             result = self.read_noise.apply(result, self._rng)
         return result
+
+    @property
+    def read_noise_active(self) -> bool:
+        """Whether :meth:`read` draws fresh stochastic noise per access."""
+        return bool(self.config.read_noise and self.read_noise.sigma != 0.0)
+
+    def read_pair_bulk(self, positive: np.ndarray, negative: np.ndarray, count: int) -> tuple:
+        """``count`` successive ``(read(positive), read(negative))`` pairs.
+
+        Bulk-consumption equivalent of alternating :meth:`read` calls on the
+        two planes of a differential pair (drift is a no-op at read time,
+        exactly as in :meth:`read` with ``elapsed=0``).  When read noise is
+        inactive the original planes are returned broadcast to the stacked
+        shape without consuming the generator, mirroring :meth:`read`'s
+        pass-through.
+        """
+        if not self.read_noise_active:
+            positive = np.asarray(positive, dtype=float)
+            negative = np.asarray(negative, dtype=float)
+            return (
+                np.broadcast_to(positive, (count,) + positive.shape),
+                np.broadcast_to(negative, (count,) + negative.shape),
+            )
+        return self.read_noise.apply_pair_bulk(positive, negative, count, self._rng)

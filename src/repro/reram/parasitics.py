@@ -76,9 +76,44 @@ class ParasiticModel:
         effective = np.clip(self.supply_voltage - voltage_drop, 0.0, self.supply_voltage)
         return effective / self.supply_voltage
 
+    def attenuation_batch(self, conductances: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Per-device attenuation factors for a whole batch of input vectors.
+
+        ``inputs`` has shape ``(batch, rows)``; the result has shape
+        ``(batch, rows, cols)``.  Slice ``b`` is bit-identical to
+        ``attenuation(conductances, inputs[b])`` -- the cumulative-current
+        solve is element-wise per vector, so stacking the batch changes
+        nothing but the loop level it runs at.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2:
+            raise ValueError("attenuation_batch expects a (batch, rows) input matrix")
+        if conductances.shape[0] != inputs.shape[1]:
+            raise ValueError("inputs length must match the number of rows")
+        if self.wire_resistance_ohm == 0.0:
+            return np.ones((inputs.shape[0],) + conductances.shape)
+
+        currents = conductances[None, :, :] * inputs[:, :, None]
+        cumulative = np.cumsum(currents, axis=1)
+        voltage_drop = self.wire_resistance_ohm * np.cumsum(cumulative, axis=1) * (
+            self.supply_voltage
+        )
+        effective = np.clip(self.supply_voltage - voltage_drop, 0.0, self.supply_voltage)
+        return effective / self.supply_voltage
+
     def apply(self, conductances: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Return effective conductances after IR drop for the given inputs."""
         return np.asarray(conductances, dtype=float) * self.attenuation(conductances, inputs)
+
+    def apply_batch(self, conductances: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Effective conductances for every vector of a ``(batch, rows)`` input.
+
+        Returns a ``(batch, rows, cols)`` tensor whose slice ``b`` is
+        bit-identical to ``apply(conductances, inputs[b])``.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        return conductances[None, :, :] * self.attenuation_batch(conductances, inputs)
 
     def worst_case_drop_fraction(self, conductances: np.ndarray) -> float:
         """Largest fractional attenuation when every wordline is activated.

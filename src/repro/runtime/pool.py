@@ -20,6 +20,7 @@ sharding work across identical compute tiles:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -232,6 +233,21 @@ class DevicePool:
         the most free HCTs; ``"round_robin"`` cycles through the devices;
         ``"cache_affinity"`` keeps an allocation's shards on as few devices
         as possible.
+    engine:
+        Default execution engine for every device MVM issued by this pool
+        (``"vectorized"`` or ``"reference"``; ``None`` defers to the
+        library default, which is vectorized).  Individual calls may
+        override it.
+    parallel:
+        When True (the default) and a call fans out to more than one
+        device, the per-device work runs on a shared
+        :class:`~concurrent.futures.ThreadPoolExecutor` -- NumPy releases
+        the GIL inside the kernels, so independent chips really execute
+        concurrently.  Results are merged deterministically in shard order
+        and each device is only ever driven by one worker at a time, so
+        parallel and serial execution are bit-identical.
+    max_workers:
+        Cap on fan-out worker threads (defaults to the device count).
     """
 
     POLICIES = ("round_robin", "least_loaded", "cache_affinity")
@@ -242,6 +258,9 @@ class DevicePool:
         config: Optional[ChipConfig] = None,
         noise: Optional[NoiseConfig] = None,
         policy: Union[str, PlacementPolicy] = "least_loaded",
+        engine: Optional[str] = None,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> None:
         if num_devices < 1:
             raise NoDevicesError(
@@ -251,6 +270,10 @@ class DevicePool:
         self.devices: List[DarthPumDevice] = [
             DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
         ]
+        self.engine = engine
+        self.parallel = bool(parallel)
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._allocations: Dict[int, PooledAllocation] = {}
         self._next_allocation = 0
 
@@ -391,18 +414,89 @@ class DevicePool:
             )
         return result
 
+    def _fanout_executor(self) -> ThreadPoolExecutor:
+        """The shared worker pool for multi-device fan-out (built lazily)."""
+        if self._executor is None:
+            workers = self._max_workers if self._max_workers else self.num_devices
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, workers), thread_name_prefix="pum-pool"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the fan-out worker threads (idempotent).
+
+        The pool stays usable afterwards -- the executor is rebuilt lazily
+        on the next multi-device call -- but long-lived processes that churn
+        through many pools should close each one (or use the pool as a
+        context manager) so idle worker threads do not accumulate until
+        interpreter shutdown.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_device_tasks(self, tasks_by_device: Dict[int, List], run) -> Dict:
+        """Execute per-device task lists, one worker per device, and collect.
+
+        ``run(device_index, task)`` performs one task on one device; a
+        device's tasks always run sequentially on a single worker (devices
+        are not thread-safe), while distinct devices proceed concurrently.
+        Returns ``{key: value}`` merged from every ``run`` result.
+        """
+        def drain(device_index: int):
+            return [run(device_index, task) for task in tasks_by_device[device_index]]
+
+        results: Dict = {}
+        if self.parallel and len(tasks_by_device) > 1:
+            executor = self._fanout_executor()
+            futures = [
+                executor.submit(drain, device_index)
+                for device_index in sorted(tasks_by_device)
+            ]
+            # Join every worker before propagating a failure: re-raising
+            # while a sibling is still running would let the next call's
+            # worker share its device with this one, breaking the
+            # one-worker-per-device invariant the fan-out relies on.
+            first_error: Optional[BaseException] = None
+            for future in futures:
+                try:
+                    for key, value in future.result():
+                        results[key] = value
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+        else:
+            for device_index in sorted(tasks_by_device):
+                for key, value in drain(device_index):
+                    results[key] = value
+        return results
+
     def exec_mvm_batch(
         self,
         allocation: PooledAllocation,
         vectors: np.ndarray,
         input_bits: int = 8,
+        engine: Optional[str] = None,
     ) -> np.ndarray:
         """Map-reduce a batch of MVMs over the allocation's shards.
 
         Every shard's device executes its row band for the whole batch in
         one :meth:`~repro.runtime.session.DarthPumDevice.exec_mvm_batch`
-        pass; the full-width partial results are then summed.
+        pass.  Shards living on different devices run concurrently on the
+        fan-out thread pool (NumPy releases the GIL); the full-width partial
+        results are summed in shard order, so the output is identical to the
+        serial schedule.
         """
+        engine = engine if engine is not None else self.engine
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
         rows, cols = allocation.shape
         if vectors.shape[1] != rows:
@@ -410,29 +504,77 @@ class DevicePool:
                 f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
             )
         result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
-        for shard, device_allocation in allocation.shards:
-            device = self.devices[shard.device_index]
-            result += device.exec_mvm_batch(
-                device_allocation, vectors[:, shard.row_start: shard.row_end],
-                input_bits=input_bits,
+
+        tasks_by_device: Dict[int, List] = {}
+        for position, (shard, device_allocation) in enumerate(allocation.shards):
+            tasks_by_device.setdefault(shard.device_index, []).append(
+                (position, shard, device_allocation)
             )
+
+        def run(device_index: int, task):
+            position, shard, device_allocation = task
+            partial = self.devices[device_index].exec_mvm_batch(
+                device_allocation, vectors[:, shard.row_start: shard.row_end],
+                input_bits=input_bits, engine=engine,
+            )
+            return position, partial
+
+        partials = self._run_device_tasks(tasks_by_device, run)
+        for position in range(len(allocation.shards)):
+            result += partials[position]
         return result
 
     def exec_requests(
         self,
         requests: Sequence[Tuple[PooledAllocation, np.ndarray]],
         input_bits: int = 8,
+        engine: Optional[str] = None,
     ) -> List[np.ndarray]:
         """Serve a list of ``(allocation, vectors)`` requests.
 
         Requests against matrices placed on different devices by the
-        scheduler run on independent chips; each request's vectors go through
-        the batched path.  Returns one result array per request, in order.
+        scheduler run on independent chips concurrently (one fan-out worker
+        per device, each draining its share of the request list in order);
+        each request's vectors go through the batched path.  Returns one
+        result array per request, in request order, bit-identical to the
+        serial schedule.
         """
-        return [
-            self.exec_mvm_batch(allocation, vectors, input_bits=input_bits)
-            for allocation, vectors in requests
-        ]
+        engine = engine if engine is not None else self.engine
+        batches: List[np.ndarray] = []
+        shapes: List[Tuple[int, int]] = []
+        tasks_by_device: Dict[int, List] = {}
+        for index, (allocation, vectors) in enumerate(requests):
+            vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
+            rows, cols = allocation.shape
+            if vectors.shape[1] != rows:
+                raise QuantizationError(
+                    f"input batch of shape {vectors.shape} does not match "
+                    f"matrix rows ({rows})"
+                )
+            batches.append(vectors)
+            shapes.append((vectors.shape[0], cols))
+            for position, (shard, device_allocation) in enumerate(allocation.shards):
+                tasks_by_device.setdefault(shard.device_index, []).append(
+                    (index, position, shard, device_allocation)
+                )
+
+        def run(device_index: int, task):
+            index, position, shard, device_allocation = task
+            partial = self.devices[device_index].exec_mvm_batch(
+                device_allocation,
+                batches[index][:, shard.row_start: shard.row_end],
+                input_bits=input_bits, engine=engine,
+            )
+            return (index, position), partial
+
+        partials = self._run_device_tasks(tasks_by_device, run)
+        results: List[np.ndarray] = []
+        for index, (allocation, _) in enumerate(requests):
+            total = np.zeros(shapes[index], dtype=np.int64)
+            for position in range(len(allocation.shards)):
+                total += partials[(index, position)]
+            results.append(total)
+        return results
 
     def release(self, allocation: PooledAllocation) -> None:
         """Free every shard of a pooled allocation."""

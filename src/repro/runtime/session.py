@@ -179,6 +179,7 @@ class DarthPumDevice:
         allocation: MatrixAllocation,
         vectors: np.ndarray,
         input_bits: int = 8,
+        engine: Optional[str] = None,
     ) -> np.ndarray:
         """execMVMBatch(): multiply a batch of vectors by the stored matrix.
 
@@ -187,8 +188,11 @@ class DarthPumDevice:
         scheduled through the ACE/DCE of every HCT holding a block of the
         matrix in a single arbiter pass, so front-end, injection, and
         (host-side) interpreter overheads are paid once per batch instead of
-        once per vector.  In the noise-free configuration the rows are
-        bit-identical to ``batch`` sequential :meth:`exec_mvm` calls.
+        once per vector.  ``engine`` selects the host-side implementation
+        (``"vectorized"``, the default, or the loop-faithful
+        ``"reference"``); the two are bit-identical, including ledger
+        totals.  In the noise-free configuration the rows are bit-identical
+        to ``batch`` sequential :meth:`exec_mvm` calls.
 
         >>> import numpy as np
         >>> from repro import DarthPumDevice
@@ -215,7 +219,9 @@ class DarthPumDevice:
             hct = self.chip.hct(hct_index)
             handle = allocation.handles[tile.hct_slot]
             sub_vectors = vectors[:, tile.row_start: tile.row_end]
-            sub_result = hct.execute_mvm_batch(handle, sub_vectors, input_bits=input_bits)
+            sub_result = hct.execute_mvm_batch(
+                handle, sub_vectors, input_bits=input_bits, engine=engine
+            )
             result[:, tile.col_start: tile.col_end] += sub_result.values
             self.ledger.charge("runtime.mvm_batch", cycles=sub_result.optimized_cycles,
                                energy_pj=sub_result.energy_pj)
