@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench kernel-bench profile lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench kernel-bench plan-dump profile lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -17,9 +17,9 @@ unit:
 bench:
 	$(PY) -m pytest benchmarks -q
 
-# Doctest-style examples in the public runtime API.
+# Doctest-style examples in the public runtime + plan APIs.
 doctest:
-	$(PY) -m pytest --doctest-modules src/repro/runtime -q
+	$(PY) -m pytest --doctest-modules src/repro/runtime src/repro/plan -q
 
 # Documentation health: doctests + markdown link checker.
 docs-check:
@@ -34,11 +34,16 @@ batch-bench:
 serve-bench:
 	$(PY) -m pytest benchmarks/test_serving_throughput.py -q
 
-# The vectorized-engine acceptance gate (>=10x over engine="reference" on a
-# 64x64 batch-32 MVM).  Writes benchmarks/artifacts/kernel_speedup.json and
-# appends the headline numbers to BENCH_kernels.json.
+# The vectorized-backend acceptance gate (>=10x over backend="reference" on
+# a 64x64 batch-32 MVM).  Writes benchmarks/artifacts/kernel_speedup.json;
+# set REPRO_BENCH_RECORD=1 (as the CI benchmarks job does) to also append
+# the headline numbers to BENCH_kernels.json.
 kernel-bench:
 	$(PY) -m pytest benchmarks/test_kernel_speedup.py -q
+
+# Pretty-print a sample compiled execution plan (MvmPlan + ShardedPlan).
+plan-dump:
+	$(PY) -m repro.plan
 
 # cProfile the serving benchmark and print the top-20 cumulative hot spots.
 profile:

@@ -7,6 +7,7 @@ Memory Architecture" (ASPLOS 2026).  The package is organised as:
 * :mod:`repro.digital`   -- RACER-style digital (Boolean) PUM substrate
 * :mod:`repro.analog`    -- analog crossbar MVM substrate with periphery
 * :mod:`repro.core`      -- hybrid compute tiles, chip, area/energy models
+* :mod:`repro.plan`      -- the ExecutionPlan IR, planner, and backend registry
 * :mod:`repro.isa`       -- the hybrid ISA, assembler, and program executor
 * :mod:`repro.runtime`   -- the Table 1 programmer-facing library
 * :mod:`repro.workloads` -- AES, ResNet-20, and LLM-encoder workloads
@@ -18,21 +19,37 @@ from .core.chip import DarthPumChip
 from .core.config import ChipConfig, HctConfig
 from .core.hct import HybridComputeTile
 from .metrics import CostLedger
+from .plan import (
+    BACKENDS,
+    BackendRegistry,
+    ExecutionBackend,
+    MvmPlan,
+    Planner,
+    ShardedPlan,
+    resolve_backend,
+)
 from .runtime.pool import DevicePool
 from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BACKENDS",
+    "BackendRegistry",
     "ChipConfig",
     "CostLedger",
     "DarthPumChip",
     "DarthPumDevice",
     "DevicePool",
+    "ExecutionBackend",
     "HctConfig",
     "HybridComputeTile",
+    "MvmPlan",
+    "Planner",
     "PumServer",
+    "ShardedPlan",
     "ThreadedServerDriver",
     "__version__",
+    "resolve_backend",
 ]

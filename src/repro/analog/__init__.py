@@ -13,7 +13,7 @@ from .bitslicing import (
 from .compensation import CompensationPlan, ParasiticCompensation
 from .crossbar import AnalogCrossbar, CrossbarOutput
 from .dac import DacSpec, DigitalToAnalogConverter
-from .kernels import DEFAULT_ENGINE, ENGINES, ShardKernel, resolve_engine
+from .kernels import ShardKernel
 from .numbers import DifferentialPairs, EncodedMatrix, OffsetSubtraction
 
 __all__ = [
@@ -24,11 +24,9 @@ __all__ = [
     "AnalogToDigitalConverter",
     "CompensationPlan",
     "CrossbarOutput",
-    "DEFAULT_ENGINE",
     "DacSpec",
     "DifferentialPairs",
     "DigitalToAnalogConverter",
-    "ENGINES",
     "EncodedMatrix",
     "MatrixHandle",
     "MvmExecution",
@@ -42,7 +40,6 @@ __all__ = [
     "ShiftAddStep",
     "make_adc",
     "recombine",
-    "resolve_engine",
     "slice_inputs",
     "slice_inputs_tensor",
     "slice_matrix",

@@ -13,7 +13,7 @@ reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -183,6 +183,10 @@ class AnalogComputeElement:
         self._handles: Dict[int, MatrixHandle] = {}
         self._matrices: Dict[int, np.ndarray] = {}
         self._kernels: Dict[int, ShardKernel] = {}
+        #: Compiled execution plans, keyed ``(handle_id, input_bits)`` and
+        #: populated by the owning tile's :class:`~repro.plan.planner.Planner`;
+        #: invalidated together with the shard-kernel cache.
+        self._plans: Dict[Tuple[int, int], object] = {}
         self._next_handle = 0
         self.enabled = True
 
@@ -344,6 +348,8 @@ class AnalogComputeElement:
         self._handles.pop(handle.handle_id, None)
         self._matrices.pop(handle.handle_id, None)
         self._kernels.pop(handle.handle_id, None)
+        for key in [k for k in self._plans if k[0] == handle.handle_id]:
+            del self._plans[key]
 
     # ------------------------------------------------------------------ #
     # Shard kernel cache (vectorized execution engine)                     #
@@ -367,6 +373,11 @@ class AnalogComputeElement:
         """Number of allocations with a live shard kernel cache entry."""
         return len(self._kernels)
 
+    @property
+    def cached_plans(self) -> int:
+        """Number of live compiled execution plans (all ``input_bits``)."""
+        return len(self._plans)
+
     def stored_matrix(self, handle: MatrixHandle) -> np.ndarray:
         """The quantised integer matrix associated with ``handle``."""
         return self._matrices[handle.handle_id].copy()
@@ -380,11 +391,19 @@ class AnalogComputeElement:
         vector: np.ndarray,
         input_bits: int = 8,
         active_adc_bits: Optional[int] = None,
+        steps: Optional[Sequence] = None,
     ) -> MvmExecution:
         """Run ``vector @ matrix`` through the analog arrays bit-serially.
 
         Returns the partial-product stream; the caller (HCT) is responsible
-        for the shift-and-add reduction in the digital domain.
+        for the shift-and-add reduction in the digital domain.  ``steps``
+        optionally supplies the pre-compiled schedule of a cached
+        :class:`~repro.plan.ir.MvmPlan` (the HCT passes its plan's steps);
+        bare-ACE callers omit it and the schedule is unrolled on the fly
+        from the same single source (:func:`~repro.plan.ir.unroll_schedule`).
+
+        Batched execution has no ACE-level entry point: it is interpreted
+        from the plan by the backends in :mod:`repro.plan.backends`.
         """
         if not self.enabled:
             raise AllocationError("the ACE of this tile has been disabled")
@@ -401,109 +420,32 @@ class AnalogComputeElement:
             bits_per_cell=handle.bits_per_cell,
         )
         execution = MvmExecution(handle=handle, plan=plan)
+        if steps is None:
+            # Deferred import: repro.plan imports the backends package,
+            # which imports this module.
+            from ..plan.ir import unroll_schedule
 
-        array_index = 0
-        array_grid: Dict[Tuple[int, int, int], int] = {}
-        for row_tile in range(handle.row_tiles):
-            for col_tile in range(handle.col_tiles):
-                for weight_slice in range(handle.num_slices):
-                    array_grid[(row_tile, col_tile, weight_slice)] = handle.array_ids[array_index]
-                    array_index += 1
-
-        start = self.ledger.snapshot()
-        for input_bit, bit_vector in enumerate(bit_vectors):
-            for row_tile in range(handle.row_tiles):
-                r0 = row_tile * self.config.array_rows
-                r1 = min(rows, r0 + self.config.array_rows)
-                tile_bits = bit_vector[r0:r1]
-                for col_tile in range(handle.col_tiles):
-                    c0 = col_tile * self.config.array_cols
-                    for weight_slice in range(handle.num_slices):
-                        array_id = array_grid[(row_tile, col_tile, weight_slice)]
-                        output = self._crossbars[array_id].mvm_1bit(
-                            tile_bits, active_adc_bits=active_adc_bits
-                        )
-                        execution.partials.append(
-                            PartialProduct(
-                                values=output.values,
-                                shift=input_bit + weight_slice * handle.bits_per_cell,
-                                input_bit=input_bit,
-                                weight_slice=weight_slice,
-                                row_tile=row_tile,
-                                col_tile=col_tile,
-                                col_offset=c0,
-                            )
-                        )
-        end = self.ledger.snapshot()
-        execution.analog_cycles = end.cycles - start.cycles
-        execution.analog_energy_pj = end.energy_pj - start.energy_pj
-        return execution
-
-    def execute_mvm_batch(
-        self,
-        handle: MatrixHandle,
-        vectors: np.ndarray,
-        input_bits: int = 8,
-        active_adc_bits: Optional[int] = None,
-    ) -> BatchMvmExecution:
-        """Run a batch of input vectors through the analog arrays together.
-
-        ``vectors`` has shape ``(batch, rows)``.  The bit-sliced schedule is
-        identical to :meth:`execute_mvm`, but each (input bit, row tile,
-        column tile, weight slice) step drives the crossbar with the whole
-        batch at once (:meth:`AnalogCrossbar.mvm_batch`), so the front-end
-        and per-step Python overheads are amortised over the batch.
-        """
-        if not self.enabled:
-            raise AllocationError("the ACE of this tile has been disabled")
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
-        rows, cols = handle.shape
-        if vectors.shape[1] != rows:
-            raise QuantizationError(
-                f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
+            steps = unroll_schedule(
+                handle, input_bits, self.config.array_rows, self.config.array_cols
             )
-        batch = vectors.shape[0]
-        # slice_inputs is element-wise, so it bit-slices the whole batch at once.
-        bit_matrices = slice_inputs(vectors, input_bits)
-        plan = ShiftAddPlan(
-            input_bits=input_bits,
-            weight_slices=handle.num_slices,
-            bits_per_cell=handle.bits_per_cell,
-        )
-        execution = BatchMvmExecution(handle=handle, batch=batch, plan=plan)
-
-        array_index = 0
-        array_grid: Dict[Tuple[int, int, int], int] = {}
-        for row_tile in range(handle.row_tiles):
-            for col_tile in range(handle.col_tiles):
-                for weight_slice in range(handle.num_slices):
-                    array_grid[(row_tile, col_tile, weight_slice)] = handle.array_ids[array_index]
-                    array_index += 1
 
         start = self.ledger.snapshot()
-        for input_bit, bit_matrix in enumerate(bit_matrices):
-            for row_tile in range(handle.row_tiles):
-                r0 = row_tile * self.config.array_rows
-                r1 = min(rows, r0 + self.config.array_rows)
-                tile_bits = bit_matrix[:, r0:r1]
-                for col_tile in range(handle.col_tiles):
-                    c0 = col_tile * self.config.array_cols
-                    for weight_slice in range(handle.num_slices):
-                        array_id = array_grid[(row_tile, col_tile, weight_slice)]
-                        output = self._crossbars[array_id].mvm_batch(
-                            tile_bits, active_adc_bits=active_adc_bits
-                        )
-                        execution.partials.append(
-                            BatchPartialProduct(
-                                values=output.values,
-                                shift=input_bit + weight_slice * handle.bits_per_cell,
-                                input_bit=input_bit,
-                                weight_slice=weight_slice,
-                                row_tile=row_tile,
-                                col_tile=col_tile,
-                                col_offset=c0,
-                            )
-                        )
+        for step in steps:
+            output = self._crossbars[step.array_id].mvm_1bit(
+                bit_vectors[step.input_bit][step.row_start: step.row_end],
+                active_adc_bits=active_adc_bits,
+            )
+            execution.partials.append(
+                PartialProduct(
+                    values=output.values,
+                    shift=step.shift,
+                    input_bit=step.input_bit,
+                    weight_slice=step.weight_slice,
+                    row_tile=step.row_tile,
+                    col_tile=step.col_tile,
+                    col_offset=step.col_offset,
+                )
+            )
         end = self.ledger.snapshot()
         execution.analog_cycles = end.cycles - start.cycles
         execution.analog_energy_pj = end.energy_pj - start.energy_pj

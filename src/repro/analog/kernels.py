@@ -1,10 +1,12 @@
-"""Vectorized bit-plane execution engine for analog MVMs.
+"""Vectorized bit-plane kernels for analog MVMs.
 
-The looped ("reference") engine walks a four-deep Python loop over
-``input_bit x row_tile x col_tile x weight_slice``, issuing one tiny
-crossbar call per step.  That is faithful to the hardware schedule but the
-interpreter overhead dwarfs the arithmetic.  This module collapses the same
-schedule into a handful of NumPy tensor contractions:
+The reference interpreter of an :class:`~repro.plan.ir.MvmPlan` walks a
+four-deep schedule over ``input_bit x row_tile x col_tile x weight_slice``,
+issuing one tiny crossbar call per step.  That is faithful to the hardware
+schedule but the interpreter overhead dwarfs the arithmetic.  This module
+holds the tensor layer the
+:class:`~repro.plan.backends.VectorizedExecutor` interprets the same plan
+with, collapsing the schedule into a handful of NumPy contractions:
 
 * all input bit-planes of a batch are stacked into one
   ``(input_bits, batch, rows)`` tensor (:func:`~repro.analog.bitslicing.slice_inputs_tensor`);
@@ -33,38 +35,21 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import AllocationError, ConfigurationError, QuantizationError
+from ..errors import AllocationError, QuantizationError
 from .bitslicing import ShiftAddPlan, slice_inputs_tensor
 from .crossbar import normalised_column_sums, parasitic_signed_sums
 
 __all__ = [
-    "DEFAULT_ENGINE",
-    "ENGINES",
     "AceForward",
     "ShardKernel",
     "TileForward",
     "TileKernel",
     "ace_forward_vectorized",
+    "analog_step_costs",
     "build_shard_kernel",
-    "resolve_engine",
+    "issue_mvm_charges",
+    "validate_input_range",
 ]
-
-#: Engine names accepted everywhere an ``engine=`` knob exists.
-ENGINES = ("vectorized", "reference")
-
-#: Engine used when callers pass ``engine=None``.
-DEFAULT_ENGINE = "vectorized"
-
-
-def resolve_engine(engine: Optional[str]) -> str:
-    """Map ``None`` to the library default and validate explicit choices."""
-    if engine is None:
-        return DEFAULT_ENGINE
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown execution engine {engine!r}; expected one of {ENGINES}"
-        )
-    return engine
 
 
 @dataclass(frozen=True)
@@ -281,12 +266,13 @@ class AceForward:
         return result
 
 
-def _validate_inputs(vectors: np.ndarray, input_bits: int) -> None:
+def validate_input_range(vectors: np.ndarray, input_bits: int) -> None:
     """Range checks of ``slice_inputs_tensor`` without building bit planes.
 
-    The exact integer path never materialises the bit-plane tensor, but it
-    must reject invalid inputs with the same errors the general engine (and
-    the reference engine's ``slice_inputs``) raises.
+    The exact integer path (and the cost-only backend) never materialise
+    the bit-plane tensor, but they must reject invalid inputs with the same
+    errors the general path (and the reference interpreter's
+    ``slice_inputs``) raises.
     """
     if not np.issubdtype(vectors.dtype, np.integer):
         raise QuantizationError("input bit-slicing expects an integer vector")
@@ -352,22 +338,75 @@ def _tile_codes(
     return adc.convert(signed)
 
 
+def analog_step_costs(
+    kernel: ShardKernel,
+    batch: int,
+    input_bits: int,
+    active_adc_bits: Optional[int] = None,
+) -> List[Tuple[float, float]]:
+    """Per-shard ``(cycles, energy_pj)`` of one analog macro-step of a batch.
+
+    The analytic counterpart of the reference interpreter's per-step
+    crossbar charges, shared by the vectorized and cost-only backends.
+    Also advances each crossbar's ``mvm_count`` statistic exactly as the
+    per-step path would.
+    """
+    step_costs: List[Tuple[float, float]] = []
+    for tile in kernel.tiles:
+        sample = tile.crossbars[0]
+        adc_latency, adc_energy = sample.adc.conversion_costs(
+            tile.used_cols, sample.num_adcs, active_adc_bits
+        )
+        latency = sample.dac.drive_latency(tile.used_rows) + 1.0 + adc_latency
+        energy = (
+            sample.dac.drive_energy_pj(tile.used_rows)
+            + sample.row_periphery_power_mw * 1.0
+            + tile.used_cols * sample.sample_hold_energy_pj
+            + adc_energy
+        )
+        step_costs.append((batch * latency, batch * energy))
+        for crossbar in tile.crossbars:
+            crossbar.mvm_count += input_bits * batch
+    return step_costs
+
+
+def issue_mvm_charges(
+    ledger,
+    input_bits: int,
+    num_slices: int,
+    step_costs: List[Tuple[float, float]],
+) -> None:
+    """Re-issue the reference interpreter's ``ace.mvm`` charge stream.
+
+    One charge per (input bit, shard, slice) step, input bits outermost, so
+    the floating-point accumulation inside the ledger is reproduced exactly
+    value for value.
+    """
+    charge = ledger.charge
+    for _ in range(input_bits):
+        for cycles, energy_pj in step_costs:
+            for _ in range(num_slices):
+                charge("ace.mvm", cycles=cycles, energy_pj=energy_pj)
+
+
 def ace_forward_vectorized(
     ace,
-    handle,
+    plan,
     vectors: np.ndarray,
-    input_bits: int = 8,
     active_adc_bits: Optional[int] = None,
 ) -> AceForward:
-    """Vectorized equivalent of ``AnalogComputeElement.execute_mvm_batch``.
+    """Vectorized interpretation of one :class:`~repro.plan.ir.MvmPlan`.
 
     Computes every post-ADC partial product of the batch with stacked tensor
-    ops and re-issues the reference engine's ``ace.mvm`` ledger charges
-    analytically (same values, same order), so results, cycle totals, and
-    energy totals are bit-identical to the looped schedule.
+    ops over the plan's shard kernel and re-issues the reference
+    interpreter's ``ace.mvm`` ledger charges analytically (same values, same
+    order), so results, cycle totals, and energy totals are bit-identical to
+    the per-step schedule walk.
     """
     if not ace.enabled:
         raise AllocationError("the ACE of this tile has been disabled")
+    handle = plan.handle
+    input_bits = plan.input_bits
     vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
     rows, cols = handle.shape
     if vectors.shape[1] != rows:
@@ -375,28 +414,22 @@ def ace_forward_vectorized(
             f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
         )
     batch = vectors.shape[0]
-    plan = ShiftAddPlan(
-        input_bits=input_bits,
-        weight_slices=handle.num_slices,
-        bits_per_cell=handle.bits_per_cell,
-    )
-    kernel = ace.kernel_for(handle)
+    kernel = plan.kernel
     exact = (
         kernel.exact
         and ace.parasitics is None
         and not kernel.tiles[0].crossbars[0].noise.read_noise_active
     )
     if exact:
-        _validate_inputs(vectors, input_bits)
+        validate_input_range(vectors, input_bits)
         vectors_float = vectors.astype(float)
     else:
         bit_planes = slice_inputs_tensor(vectors, input_bits)
 
     start = ace.ledger.snapshot()
     forward = AceForward(
-        handle=handle, batch=batch, input_bits=input_bits, plan=plan, tiles=[]
+        handle=handle, batch=batch, input_bits=input_bits, plan=plan.shift_add, tiles=[]
     )
-    step_costs: List[Tuple[float, float]] = []
     for tile in kernel.tiles:
         if exact:
             # Proven-exact fast path: with ideal conductances and a
@@ -416,29 +449,8 @@ def ace_forward_vectorized(
                     codes=_tile_codes(ace, kernel, tile, bit_planes, input_bits),
                 )
             )
-        sample = tile.crossbars[0]
-        adc_latency, adc_energy = sample.adc.conversion_costs(
-            tile.used_cols, sample.num_adcs, active_adc_bits
-        )
-        latency = sample.dac.drive_latency(tile.used_rows) + 1.0 + adc_latency
-        energy = (
-            sample.dac.drive_energy_pj(tile.used_rows)
-            + sample.row_periphery_power_mw * 1.0
-            + tile.used_cols * sample.sample_hold_energy_pj
-            + adc_energy
-        )
-        step_costs.append((batch * latency, batch * energy))
-        for crossbar in tile.crossbars:
-            crossbar.mvm_count += input_bits * batch
-
-    # Re-issue the reference engine's charge stream: one ``ace.mvm`` charge
-    # per (input bit, tile, slice) step, input bits outermost, so the
-    # floating-point accumulation inside the ledger is reproduced exactly.
-    charge = ace.ledger.charge
-    for _ in range(input_bits):
-        for cycles, energy_pj in step_costs:
-            for _ in range(kernel.num_slices):
-                charge("ace.mvm", cycles=cycles, energy_pj=energy_pj)
+    step_costs = analog_step_costs(kernel, batch, input_bits, active_adc_bits)
+    issue_mvm_charges(ace.ledger, input_bits, kernel.num_slices, step_costs)
     end = ace.ledger.snapshot()
     forward.analog_cycles = end.cycles - start.cycles
     forward.analog_energy_pj = end.energy_pj - start.energy_pj

@@ -122,6 +122,18 @@ class DarthPumChip:
         )
         return merge_ledgers(ledgers)
 
+    def planner_builds(self) -> int:
+        """Execution plans compiled across all materialised tiles.
+
+        Serving tests assert this stays flat on the request hot path: all
+        planning happens at registration time.
+        """
+        return sum(
+            slot.tile.planner.builds
+            for slot in self._slots.values()
+            if slot.tile is not None
+        )
+
     def front_end_energy_pj(self, cycles: float) -> float:
         """Energy of the active front ends over ``cycles`` cycles."""
         active = max(1, self.materialized_hcts // self.config.hcts_per_front_end)

@@ -18,28 +18,34 @@ DCE really reduces them with NOR-synthesised adds, so the returned vector is
 the genuine hybrid result.  The same call also produces a cycle-accurate
 timeline for both the unoptimised (Figure 10a) and optimised (Figure 10b)
 schedules.
+
+Batched MVMs follow the plan/compile/execute split: the tile's
+:class:`~repro.plan.planner.Planner` compiles the bit-sliced schedule into
+one cached :class:`~repro.plan.ir.MvmPlan` per ``(allocation,
+input_bits)``, and ``execute_mvm_batch`` hands that plan to whichever
+:class:`~repro.plan.backends.ExecutionBackend` the caller selects
+(``backend="vectorized"`` by default, ``"reference"`` for the per-step
+ground truth, ``"estimate"`` for ledgers without arithmetic).  The
+backends are two interpreters of one IR, so their bit-identity is
+structural -- see ``tests/test_kernels.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from ..analog.ace import (
-    AnalogComputeElement,
-    BatchMvmExecution,
-    MatrixHandle,
-    MvmExecution,
-)
+from ..analog.ace import AnalogComputeElement, MatrixHandle, MvmExecution
 from ..analog.compensation import ParasiticCompensation
-from ..analog.kernels import AceForward, ace_forward_vectorized, resolve_engine
 from ..digital.dce import DigitalComputeElement
 from ..digital.logic import get_family
 from ..digital.microops import WordOpCost
-from ..errors import AllocationError, CapacityError, ExecutionError
+from ..errors import AllocationError, CapacityError
 from ..metrics import CostLedger
+from ..plan.backends import ExecutionBackend, resolve_backend
+from ..plan.ir import HctBatchMvmResult, HctMvmResult, MvmPlan
+from ..plan.planner import Planner
 from ..reram import DeviceParameters, NoiseConfig, ParasiticModel
 from .arbiter import AnalogDigitalArbiter, Domain
 from .config import HctConfig
@@ -49,77 +55,6 @@ from .transpose_unit import TransposeUnit
 from .vacore import VACore, VACoreManager
 
 __all__ = ["HybridComputeTile", "HctBatchMvmResult", "HctMvmResult"]
-
-
-@dataclass
-class HctMvmResult:
-    """The outcome of one hybrid MVM on an HCT."""
-
-    #: The reduced output vector (signed integers).
-    values: np.ndarray
-    #: Wall-clock cycles with the optimised (shift-in-flight) schedule.
-    optimized_cycles: float
-    #: Wall-clock cycles with the naive serialised schedule (Figure 10a).
-    unoptimized_cycles: float
-    #: Energy consumed by this MVM (analog + digital), in pJ.
-    energy_pj: float
-    #: Per-phase cycle breakdown of the optimised schedule.
-    breakdown: Dict[str, float] = field(default_factory=dict)
-    #: Number of partial products the reduction consumed.
-    num_partial_products: int = 0
-    #: Front-end instruction slots saved by the IIU.
-    iiu_slots_saved: int = 0
-
-    @property
-    def cycles(self) -> float:
-        """Alias for the optimised wall-clock latency."""
-        return self.optimized_cycles
-
-    @property
-    def speedup_from_optimization(self) -> float:
-        """How much the Section 4.1 optimisations help for this MVM."""
-        if self.optimized_cycles == 0:
-            return 1.0
-        return self.unoptimized_cycles / self.optimized_cycles
-
-
-@dataclass
-class HctBatchMvmResult:
-    """The outcome of one batched hybrid MVM on an HCT."""
-
-    #: The reduced output vectors, one row per input vector (signed integers).
-    values: np.ndarray
-    #: Number of input vectors in the batch.
-    batch: int
-    #: Wall-clock cycles for the whole batch, optimised schedule.
-    optimized_cycles: float
-    #: Wall-clock cycles for the whole batch, naive serialised schedule.
-    unoptimized_cycles: float
-    #: Energy consumed by the batch (analog + digital), in pJ.
-    energy_pj: float
-    #: Per-phase cycle breakdown of the optimised schedule.
-    breakdown: Dict[str, float] = field(default_factory=dict)
-    #: Partial products the reduction consumed *per vector*.
-    num_partial_products: int = 0
-    #: Front-end instruction slots saved by the IIU across the batch.
-    iiu_slots_saved: int = 0
-
-    @property
-    def cycles(self) -> float:
-        """Alias for the optimised wall-clock latency of the batch."""
-        return self.optimized_cycles
-
-    @property
-    def cycles_per_vector(self) -> float:
-        """Amortised optimised latency per input vector."""
-        return self.optimized_cycles / max(1, self.batch)
-
-    @property
-    def speedup_from_optimization(self) -> float:
-        """How much the Section 4.1 optimisations help for this batch."""
-        if self.optimized_cycles == 0:
-            return 1.0
-        return self.unoptimized_cycles / self.optimized_cycles
 
 
 class HybridComputeTile:
@@ -156,6 +91,7 @@ class HybridComputeTile:
         self.arbiter = AnalogDigitalArbiter()
         self.iiu = InstructionInjectionUnit()
         self.vacores = VACoreManager()
+        self.planner = Planner(self)
         self._matrix_output_pipeline: Dict[int, int] = {}
         self._clock = 0.0
         self.analog_enabled = True
@@ -199,7 +135,7 @@ class HybridComputeTile:
         return handle
 
     def release_matrix(self, handle: MatrixHandle) -> None:
-        """Free a matrix's analog arrays and its reserved output pipelines."""
+        """Free a matrix's analog arrays, plans, and reserved pipelines."""
         base = self._matrix_output_pipeline.pop(handle.handle_id, 0)
         for tile in range(handle.col_tiles):
             self.dce.release_pipeline(base + tile)
@@ -251,12 +187,13 @@ class HybridComputeTile:
         """Run a full hybrid MVM: analog partial products + digital reduction."""
         if not self.analog_enabled:
             raise AllocationError("the ACE of this tile has been disabled")
+        plan = self.planner.plan_for(handle, input_bits)
         start_energy = self.ledger.energy_pj
         execution = self.ace.execute_mvm(
-            handle, vector, input_bits=input_bits, active_adc_bits=active_adc_bits
+            handle, vector, input_bits=input_bits, active_adc_bits=active_adc_bits,
+            steps=plan.steps,
         )
 
-        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
         if not self.digital_post_processing:
             # Expert mode: hand back the raw analog reduction without the DCE.
             values = execution.reduce()
@@ -272,22 +209,20 @@ class HybridComputeTile:
                 num_partial_products=len(execution.partials),
             )
 
-        values, reduce_costs, slots_saved = self._reduce_in_dce(execution, output_base)
+        values, reduce_costs, slots_saved = self._reduce_in_dce(
+            execution, plan.output_base
+        )
         if compensation is not None:
             values = compensation.recover(values, vector)
 
-        optimized_cycles, breakdown = self._timeline(execution, reduce_costs, optimized=True)
-        unoptimized_cycles, _ = self._timeline(execution, reduce_costs, optimized=False)
+        add_costs = [c for c in reduce_costs if c.name == "add"]
+        n_adds = len(add_costs)
+        add_uops = add_costs[0].uops_per_bit if add_costs else 12.0
+        optimized_cycles, breakdown = plan.cost.timeline(1, n_adds, add_uops, True)
+        unoptimized_cycles, _ = plan.cost.timeline(1, n_adds, add_uops, False)
 
-        # The arbiter locks the output pipelines for the analog domain for
-        # the duration of the MVM, serialising younger digital work.
-        for tile in range(handle.col_tiles):
-            self.arbiter.acquire(
-                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
-            )
         charged = optimized_cycles if optimized else unoptimized_cycles
-        self._clock += charged
-        self.ledger.charge("hct.mvm", cycles=charged)
+        self._commit_schedule(plan, optimized_cycles, charged, label="hct.mvm")
 
         return HctMvmResult(
             values=values,
@@ -307,153 +242,39 @@ class HybridComputeTile:
         optimized: bool = True,
         compensation: Optional[ParasiticCompensation] = None,
         active_adc_bits: Optional[int] = None,
-        engine: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> HctBatchMvmResult:
         """Run a whole batch of hybrid MVMs through the tile in one pass.
 
-        ``vectors`` has shape ``(batch, rows)``.  The arbiter serialises the
-        batch as one analog-domain reservation and the whole batch streams
-        through every (input bit, tile, slice) step of the bit-sliced
-        schedule.  ``engine`` picks the host-side implementation:
+        ``vectors`` has shape ``(batch, rows)``.  The tile's planner
+        compiles (or fetches from its cache) the
+        :class:`~repro.plan.ir.MvmPlan` for ``(handle, input_bits)`` and
+        hands it to the selected execution backend:
 
-        * ``"vectorized"`` (the default) collapses the schedule into stacked
-          tensor contractions over the ACE's shard kernel cache and
+        * ``backend="vectorized"`` (the default) contracts the plan's
+          schedule into stacked tensor ops over the shard kernel cache and
           reconstructs all cost accounting analytically;
-        * ``"reference"`` walks the per-step crossbar loop.
+        * ``backend="reference"`` walks the plan one crossbar call per step;
+        * ``backend="estimate"`` charges the full analytic cost without
+          computing values (``result.estimated`` is True).
 
-        The two engines are bit-identical -- results, ledger totals, and
-        timelines -- which ``tests/test_kernels.py`` pins down.  In the
-        noise-free configuration the returned rows also match ``batch``
-        sequential :meth:`execute_mvm` calls bit for bit.
+        Interpreting one shared plan makes the first two bit-identical --
+        results, ledger totals, and timelines -- which
+        ``tests/test_kernels.py`` pins down.  In the noise-free
+        configuration the returned rows also match ``batch`` sequential
+        :meth:`execute_mvm` calls bit for bit.
         """
-        if resolve_engine(engine) == "vectorized":
-            return self._execute_mvm_batch_vectorized(
-                handle, vectors, input_bits, optimized, compensation, active_adc_bits
-            )
         if not self.analog_enabled:
             raise AllocationError("the ACE of this tile has been disabled")
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
-        batch = vectors.shape[0]
-        if batch == 0:
-            raise ExecutionError("execute_mvm_batch needs at least one input vector")
-        start_energy = self.ledger.energy_pj
-        execution = self.ace.execute_mvm_batch(
-            handle, vectors, input_bits=input_bits, active_adc_bits=active_adc_bits
-        )
-
-        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
-        if not self.digital_post_processing:
-            values = execution.reduce()
-            if compensation is not None:
-                values = compensation.recover_batch(values, vectors)
-            cycles = execution.analog_cycles
-            return HctBatchMvmResult(
-                values=values,
-                batch=batch,
-                optimized_cycles=cycles,
-                unoptimized_cycles=cycles,
-                energy_pj=self.ledger.energy_pj - start_energy,
-                breakdown={"analog": cycles},
-                num_partial_products=len(execution.partials),
-            )
-
-        values, reduce_costs, slots_saved = self._reduce_batch_in_dce(execution, output_base)
-        if compensation is not None:
-            values = compensation.recover_batch(values, vectors)
-
-        optimized_cycles, breakdown = self._timeline(
-            execution, reduce_costs, optimized=True, batch=batch
-        )
-        unoptimized_cycles, _ = self._timeline(
-            execution, reduce_costs, optimized=False, batch=batch
-        )
-
-        for tile in range(handle.col_tiles):
-            self.arbiter.acquire(
-                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
-            )
-        charged = optimized_cycles if optimized else unoptimized_cycles
-        self._clock += charged
-        self.ledger.charge("hct.mvm_batch", cycles=charged)
-
-        return HctBatchMvmResult(
-            values=values,
-            batch=batch,
-            optimized_cycles=optimized_cycles,
-            unoptimized_cycles=unoptimized_cycles,
-            energy_pj=self.ledger.energy_pj - start_energy,
-            breakdown=breakdown,
-            num_partial_products=len(execution.partials),
-            iiu_slots_saved=slots_saved,
-        )
-
-    def _execute_mvm_batch_vectorized(
-        self,
-        handle: MatrixHandle,
-        vectors: np.ndarray,
-        input_bits: int,
-        optimized: bool,
-        compensation: Optional[ParasiticCompensation],
-        active_adc_bits: Optional[int],
-    ) -> HctBatchMvmResult:
-        """The vectorized bit-plane engine: tensor ops + analytic accounting."""
-        if not self.analog_enabled:
-            raise AllocationError("the ACE of this tile has been disabled")
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
-        batch = vectors.shape[0]
-        if batch == 0:
-            raise ExecutionError("execute_mvm_batch needs at least one input vector")
-        start_energy = self.ledger.energy_pj
-        forward = ace_forward_vectorized(
-            self.ace, handle, vectors, input_bits=input_bits,
+        executor = resolve_backend(backend)
+        plan = self.planner.plan_for(handle, input_bits)
+        return executor.execute_batch(
+            self,
+            plan,
+            vectors,
+            optimized=optimized,
+            compensation=compensation,
             active_adc_bits=active_adc_bits,
-        )
-
-        output_base = self._matrix_output_pipeline.get(handle.handle_id, 0)
-        if not self.digital_post_processing:
-            values = forward.raw_reduce()
-            if compensation is not None:
-                values = compensation.recover_batch(values, vectors)
-            cycles = forward.analog_cycles
-            return HctBatchMvmResult(
-                values=values,
-                batch=batch,
-                optimized_cycles=cycles,
-                unoptimized_cycles=cycles,
-                energy_pj=self.ledger.energy_pj - start_energy,
-                breakdown={"analog": cycles},
-                num_partial_products=forward.num_partials,
-            )
-
-        values, add_info, slots_saved = self._reduce_batch_analytic(forward, output_base)
-        if compensation is not None:
-            values = compensation.recover_batch(values, vectors)
-
-        shim = BatchMvmExecution(handle=handle, batch=batch, plan=forward.plan)
-        optimized_cycles, breakdown = self._timeline(
-            shim, (), optimized=True, batch=batch, add_info=add_info
-        )
-        unoptimized_cycles, _ = self._timeline(
-            shim, (), optimized=False, batch=batch, add_info=add_info
-        )
-
-        for tile in range(handle.col_tiles):
-            self.arbiter.acquire(
-                f"pipeline:{output_base + tile}", Domain.ANALOG, self._clock, optimized_cycles
-            )
-        charged = optimized_cycles if optimized else unoptimized_cycles
-        self._clock += charged
-        self.ledger.charge("hct.mvm_batch", cycles=charged)
-
-        return HctBatchMvmResult(
-            values=values,
-            batch=batch,
-            optimized_cycles=optimized_cycles,
-            unoptimized_cycles=unoptimized_cycles,
-            energy_pj=self.ledger.energy_pj - start_energy,
-            breakdown=breakdown,
-            num_partial_products=forward.num_partials,
-            iiu_slots_saved=slots_saved,
         )
 
     # ------------------------------------------------------------------ #
@@ -466,6 +287,27 @@ class HybridComputeTile:
         # Keep VR 0 for the accumulator and use the next few as staging slots.
         count = max(2, min(4, num_vrs - 1))
         return list(range(1, 1 + count))
+
+    def _commit_schedule(
+        self, plan: MvmPlan, optimized_cycles: float, charged: float,
+        label: str = "hct.mvm_batch",
+    ) -> None:
+        """Arbiter reservation + clock advance + ledger charge of one MVM.
+
+        The arbiter locks the output pipelines for the analog domain for
+        the duration of the MVM, serialising younger digital work.  Every
+        execution backend commits through here so the tile-side effects of
+        an MVM cannot drift between interpreters.
+        """
+        for tile in range(plan.handle.col_tiles):
+            self.arbiter.acquire(
+                f"pipeline:{plan.output_base + tile}",
+                Domain.ANALOG,
+                self._clock,
+                optimized_cycles,
+            )
+        self._clock += charged
+        self.ledger.charge(label, cycles=charged)
 
     def _reduce_in_dce(self, execution: MvmExecution, output_base: int):
         """Functionally reduce the partial-product stream in the DCE."""
@@ -504,172 +346,6 @@ class HybridComputeTile:
             reduced = pipeline.read_vr(accumulator, signed=True)[:tile_width]
             result[col_offset: col_offset + tile_width] = reduced
         return result, all_costs, slots_saved
-
-    def _reduce_batch_in_dce(self, execution: BatchMvmExecution, output_base: int):
-        """Vectorised batch reduction of the partial-product stream.
-
-        One NumPy shift-and-add per column tile replaces the per-element
-        gate-level path of :meth:`_reduce_in_dce`; the shift units still
-        align every partial product in flight and the IIU reconstructs the
-        equivalent µop stream for cost accounting.
-        """
-        handle = execution.handle
-        rows, cols = handle.shape
-        staging = self._staging_vrs()
-        accumulator = 0
-        all_costs: List[WordOpCost] = []
-        slots_saved = 0
-        result = np.zeros((execution.batch, cols), dtype=np.int64)
-
-        for col_tile in range(handle.col_tiles):
-            pipeline_index = output_base + col_tile
-            pipeline = self.dce.pipeline(pipeline_index)
-            tile_partials = [p for p in execution.partials if p.col_tile == col_tile]
-            if not tile_partials:
-                continue
-            shifted_values = []
-            shifts = []
-            for partial in tile_partials:
-                transfer = self.shift_unit.apply(
-                    np.rint(partial.values).astype(np.int64),
-                    input_bit=partial.input_bit,
-                    extra_shift=partial.weight_slice * handle.bits_per_cell,
-                )
-                self.transpose_unit.batch_to_registers(transfer.values)
-                shifted_values.append(transfer.values)
-                shifts.append(transfer.shift)
-            reduced, costs, saved = self.iiu.inject_reduction_batch(
-                pipeline, shifted_values, accumulator, staging, shifts
-            )
-            all_costs.extend(costs)
-            slots_saved += saved
-            tile_width = tile_partials[0].values.shape[1]
-            col_offset = tile_partials[0].col_offset
-            result[:, col_offset: col_offset + tile_width] = reduced[:, :tile_width]
-        return result, all_costs, slots_saved
-
-    def _reduce_batch_analytic(self, forward: AceForward, output_base: int):
-        """Vectorized-engine DCE reduction with analytic µop reconstruction.
-
-        Computes the shift-and-add sum of every column tile as one integer
-        tensor reduction, then re-issues the exact accounting the reference
-        path's ``inject_reduction_batch`` performs: the same ``dce.write`` /
-        ``dce.boolean`` ledger charges, op-log entries, IIU statistics, and
-        accumulator-register state.  Returns ``(values, (n_adds,
-        add_uops_per_bit), slots_saved)`` where ``add_info`` feeds the
-        timeline model without materialising per-partial cost lists.
-        """
-        handle = forward.handle
-        rows, cols = handle.shape
-        batch = forward.batch
-        partials_per_col_tile = (
-            forward.plan.num_partial_products * handle.row_tiles
-        )
-        result = np.zeros((batch, cols), dtype=np.int64)
-        slots_saved = 0
-        n_adds = 0
-        add_uops = 12.0
-
-        for col_tile in range(handle.col_tiles):
-            pipeline = self.dce.pipeline(output_base + col_tile)
-            tiles = [t for t in forward.tiles if t.kernel.col_tile == col_tile]
-            if not tiles:
-                continue
-            reduced = forward.tile_totals(tiles[0]).copy()
-            for tile in tiles[1:]:
-                reduced += forward.tile_totals(tile)
-            depth = pipeline.depth
-            if depth < 64:
-                mask = np.int64((1 << depth) - 1)
-                sign = np.int64(1) << (depth - 1)
-                reduced = ((reduced & mask) ^ sign) - sign
-
-            width = reduced.shape[1]
-            add_uops = float(pipeline.add_uops_per_bit)
-            _, saved = self.iiu.account_reduction_batch(
-                pipeline, partials_per_col_tile, batch, width
-            )
-            pipeline.set_vr_bits(0, reduced[-1])
-            slots_saved += saved
-            self.transpose_unit.vector_count += batch * partials_per_col_tile
-            n_adds += batch * partials_per_col_tile
-
-            col_offset = tiles[0].kernel.col_offset
-            result[:, col_offset: col_offset + width] = reduced[:, :width]
-        return result, (n_adds, add_uops), slots_saved
-
-    def _timeline(
-        self,
-        execution,
-        reduce_costs: Sequence[WordOpCost],
-        optimized: bool,
-        batch: int = 1,
-        add_info: Optional[tuple] = None,
-    ):
-        """Wall-clock latency of the MVM under the two schedules of Figure 10.
-
-        ``batch`` scales the analog production phase: a batch of input
-        vectors streams ``batch`` times as many partial products through the
-        same schedule (``reduce_costs`` already contains the whole batch's
-        write+ADD stream).
-        """
-        handle = execution.handle
-        cols_per_tile = min(handle.shape[1], self.config.ace.array_cols)
-        rows_per_write = self.config.dce.rows
-
-        # Analog production latency of one partial product (all arrays of a
-        # step operate concurrently; input bits are serial).
-        sample = self.ace.crossbar(handle.array_ids[0])
-        adc_latency = sample.adc.conversion_latency(
-            cols_per_tile, sample.num_adcs, None
-        )
-        per_step_analog = sample.dac.drive_latency(handle.shape[0]) + 1.0 + adc_latency
-
-        steps = execution.plan.num_partial_products * handle.row_tiles if execution.plan else len(
-            execution.partials
-        )
-        steps *= batch
-        transfer = self.shift_unit.transfer_cycles(cols_per_tile)
-        write = float(rows_per_write)
-
-        if add_info is not None:
-            # Vectorized engine: the ADD stream is described analytically
-            # instead of by materialised per-partial cost objects.
-            n_adds, add_uops_per_bit = add_info
-        else:
-            add_costs = [c for c in reduce_costs if c.name == "add"]
-            n_adds = len(add_costs)
-            add_uops_per_bit = add_costs[0].uops_per_bit if add_costs else 12.0
-        depth = self.config.dce.pipeline_depth
-
-        breakdown: Dict[str, float] = {}
-        if optimized:
-            # Figure 10b: shifts happen in flight; ADC production, network
-            # transfer, and DCE writes are rate-matched and overlap, so the
-            # steady-state step cost is their maximum; the pipelined ADD
-            # stream drains afterwards.
-            step_cost = max(per_step_analog, transfer, write)
-            analog_phase = steps * step_cost
-            add_stream = (
-                add_uops_per_bit * depth + max(0, n_adds - 1) * add_uops_per_bit
-                if n_adds
-                else 0.0
-            )
-            breakdown["analog_and_transfer"] = analog_phase
-            breakdown["pipelined_adds"] = add_stream
-            total = analog_phase + add_stream
-        else:
-            # Figure 10a: every partial product pays analog production, write,
-            # an explicit digital shift, and a full (unpipelined) ADD before
-            # the next one may start.
-            shift_cost = float(execution.plan.max_shift if execution.plan else depth)
-            per_partial = (
-                per_step_analog + write + shift_cost + add_uops_per_bit * depth
-            )
-            total = steps * per_partial
-            breakdown["serialized_steps"] = total
-        breakdown["total"] = total
-        return total, breakdown
 
     # ------------------------------------------------------------------ #
     # Convenience passthroughs                                             #

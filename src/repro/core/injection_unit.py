@@ -107,6 +107,22 @@ class InstructionInjectionUnit:
         self.front_end_slots_saved += saved
         return costs, saved
 
+    @staticmethod
+    def wrap_accumulator(values: np.ndarray, depth: int) -> np.ndarray:
+        """Model the accumulator read-back of a ``depth``-bit pipeline.
+
+        Gate-level adds wrap modulo ``2**depth`` and the accumulator is read
+        back as a two's-complement value of ``depth`` bits.  Shared by every
+        interpreter of a reduction plan (the gate-accounted batch path and
+        the analytic paths of the vectorized/cost-only backends), so the
+        truncation semantics cannot drift between engines.
+        """
+        if depth >= 64:
+            return values
+        mask = np.int64((1 << depth) - 1)
+        sign = np.int64(1) << (depth - 1)
+        return ((values & mask) ^ sign) - sign
+
     def account_reduction_batch(
         self,
         pipeline: BitPipeline,
@@ -117,9 +133,10 @@ class InstructionInjectionUnit:
         """Analytically account one batched write+ADD reduction stream.
 
         The single source of truth for the cost side of a batched reduction:
-        both :meth:`inject_reduction_batch` (the reference engine) and the
-        vectorized engine's ``HybridComputeTile._reduce_batch_analytic``
-        charge through here, so the two engines cannot drift apart.  Charges
+        :meth:`inject_reduction_batch` (the reference interpreter) and the
+        analytic reductions of the vectorized and cost-only backends
+        (:mod:`repro.plan.backends`) all charge through here, so the
+        engines cannot drift apart.  Charges
         the ``dce.write`` / ``dce.boolean`` energy the gate-level path would
         accumulate (every staged write touches one device per bit per
         transferred element; every ADD executes its NOR network on all rows
@@ -173,14 +190,7 @@ class InstructionInjectionUnit:
         """
         stacked = np.stack([np.asarray(v, dtype=np.int64) for v in partial_values])
         batch, width = stacked.shape[1], stacked.shape[2]
-        depth = pipeline.depth
-        reduced = stacked.sum(axis=0)
-        if depth < 64:
-            # Gate-level adds wrap modulo 2**depth and the accumulator is read
-            # back as a two's-complement value of ``depth`` bits.
-            mask = np.int64((1 << depth) - 1)
-            sign = np.int64(1) << (depth - 1)
-            reduced = ((reduced & mask) ^ sign) - sign
+        reduced = self.wrap_accumulator(stacked.sum(axis=0), pipeline.depth)
 
         costs, saved = self.account_reduction_batch(
             pipeline, len(partial_values), batch, width

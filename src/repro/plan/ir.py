@@ -1,0 +1,453 @@
+"""The ExecutionPlan IR: a compiled, cacheable bit-plane MVM schedule.
+
+The hybrid bit-sliced MVM schedule used to be re-derived implicitly on
+every call: the reference loop walked it, the vectorized engine
+re-materialised it as stacked tensors, and the pool/server re-planned
+sharding per request.  This module makes the schedule a first-class
+artifact -- the same compile-then-execute separation profile-guided
+optimisers use to make repeated executions cheap and retargetable:
+
+* :class:`MvmPlan` is the per-allocation IR for one HCT-resident matrix:
+  the shard/tile/slice topology (:class:`PlanStep`), the digital reduction
+  layout (:class:`ReductionStep`), the stacked-tensor operand
+  (:class:`~repro.analog.kernels.ShardKernel`), and an analytic
+  :class:`PlanCostModel` for the Figure 10 timelines.
+* A :class:`~repro.plan.planner.Planner` builds the plan once per
+  ``(allocation, input_bits)`` and caches it next to the shard-kernel
+  cache; every execution backend in
+  :mod:`~repro.plan.backends` is an *interpreter* of the same plan, so
+  bit-identity between engines is structural rather than hand-synchronised.
+* :class:`ShardedPlan` lifts the same idea to the device pool: the
+  row-band-to-device topology of a pooled allocation is compiled once at
+  registration time so the per-request hot path does zero planning.
+
+``plan.describe()`` renders the schedule for docs and debugging
+(``make plan-dump`` prints a sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..analog.bitslicing import ShiftAddPlan
+
+__all__ = [
+    "HctBatchMvmResult",
+    "HctMvmResult",
+    "MvmPlan",
+    "PlanCostModel",
+    "PlanStep",
+    "ReductionStep",
+    "ShardTask",
+    "ShardedPlan",
+    "unroll_schedule",
+]
+
+
+@dataclass
+class HctMvmResult:
+    """The outcome of one hybrid MVM on an HCT."""
+
+    #: The reduced output vector (signed integers).
+    values: np.ndarray
+    #: Wall-clock cycles with the optimised (shift-in-flight) schedule.
+    optimized_cycles: float
+    #: Wall-clock cycles with the naive serialised schedule (Figure 10a).
+    unoptimized_cycles: float
+    #: Energy consumed by this MVM (analog + digital), in pJ.
+    energy_pj: float
+    #: Per-phase cycle breakdown of the optimised schedule.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Number of partial products the reduction consumed.
+    num_partial_products: int = 0
+    #: Front-end instruction slots saved by the IIU.
+    iiu_slots_saved: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Alias for the optimised wall-clock latency."""
+        return self.optimized_cycles
+
+    @property
+    def speedup_from_optimization(self) -> float:
+        """How much the Section 4.1 optimisations help for this MVM."""
+        if self.optimized_cycles == 0:
+            return 1.0
+        return self.unoptimized_cycles / self.optimized_cycles
+
+
+@dataclass
+class HctBatchMvmResult:
+    """The outcome of one batched hybrid MVM on an HCT."""
+
+    #: The reduced output vectors, one row per input vector (signed integers).
+    values: np.ndarray
+    #: Number of input vectors in the batch.
+    batch: int
+    #: Wall-clock cycles for the whole batch, optimised schedule.
+    optimized_cycles: float
+    #: Wall-clock cycles for the whole batch, naive serialised schedule.
+    unoptimized_cycles: float
+    #: Energy consumed by the batch (analog + digital), in pJ.
+    energy_pj: float
+    #: Per-phase cycle breakdown of the optimised schedule.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Partial products the reduction consumed *per vector*.
+    num_partial_products: int = 0
+    #: Front-end instruction slots saved by the IIU across the batch.
+    iiu_slots_saved: int = 0
+    #: True when a cost-only backend produced this result: the ledger
+    #: charges and timelines are real, ``values`` is a placeholder.
+    estimated: bool = False
+
+    @property
+    def cycles(self) -> float:
+        """Alias for the optimised wall-clock latency of the batch."""
+        return self.optimized_cycles
+
+    @property
+    def cycles_per_vector(self) -> float:
+        """Amortised optimised latency per input vector."""
+        return self.optimized_cycles / max(1, self.batch)
+
+    @property
+    def speedup_from_optimization(self) -> float:
+        """How much the Section 4.1 optimisations help for this batch."""
+        if self.optimized_cycles == 0:
+            return 1.0
+        return self.unoptimized_cycles / self.optimized_cycles
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One analog macro-step of the bit-sliced schedule.
+
+    The reference backend executes exactly one crossbar call per step, in
+    plan order (input bit outermost, then row tile, column tile, weight
+    slice -- the hardware issue order); the vectorized backend collapses
+    all steps of a shard into one broadcast matmul but produces the same
+    post-ADC values.
+    """
+
+    input_bit: int
+    row_tile: int
+    col_tile: int
+    weight_slice: int
+    #: Analog array executing this step.
+    array_id: int
+    #: Recombination shift of the produced partial product.
+    shift: int
+    #: Input rows driven by this step (matrix-row coordinates).
+    row_start: int
+    row_end: int
+    #: First output column this step's partial product lands on.
+    col_offset: int
+
+
+def unroll_schedule(
+    handle, input_bits: int, array_rows: int, array_cols: int
+) -> Tuple[PlanStep, ...]:
+    """Unroll the bit-sliced schedule of ``handle`` in reference issue order.
+
+    Input bit outermost (inputs are applied one bit per cycle), then row
+    tile, column tile, weight slice; the ``(row tile, col tile, slice) ->
+    array`` mapping mirrors the allocation order of ``set_matrix``.  The
+    single source of the schedule derivation: the
+    :class:`~repro.plan.planner.Planner` bakes the result into every
+    :class:`MvmPlan`, and the single-vector
+    :meth:`~repro.analog.ace.AnalogComputeElement.execute_mvm` walks it
+    directly, so the two cannot drift.
+    """
+    rows, cols = handle.shape
+    array_grid = {}
+    array_index = 0
+    for row_tile in range(handle.row_tiles):
+        for col_tile in range(handle.col_tiles):
+            for weight_slice in range(handle.num_slices):
+                array_grid[(row_tile, col_tile, weight_slice)] = handle.array_ids[
+                    array_index
+                ]
+                array_index += 1
+
+    steps = []
+    for input_bit in range(input_bits):
+        for row_tile in range(handle.row_tiles):
+            r0 = row_tile * array_rows
+            r1 = min(rows, r0 + array_rows)
+            for col_tile in range(handle.col_tiles):
+                c0 = col_tile * array_cols
+                for weight_slice in range(handle.num_slices):
+                    steps.append(
+                        PlanStep(
+                            input_bit=input_bit,
+                            row_tile=row_tile,
+                            col_tile=col_tile,
+                            weight_slice=weight_slice,
+                            array_id=array_grid[(row_tile, col_tile, weight_slice)],
+                            shift=input_bit + weight_slice * handle.bits_per_cell,
+                            row_start=r0,
+                            row_end=r1,
+                            col_offset=c0,
+                        )
+                    )
+    return tuple(steps)
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """The digital reduction of one column tile's partial-product stream."""
+
+    col_tile: int
+    #: First matrix column this tile's outputs occupy.
+    col_offset: int
+    #: Output columns produced by this tile.
+    width: int
+    #: Partial products per input vector this tile's pipeline consumes.
+    partials_per_vector: int
+
+
+@dataclass(frozen=True)
+class PlanCostModel:
+    """Analytic latency model of the two Figure 10 schedules.
+
+    All parameters are fixed at plan-build time from the allocation's
+    geometry and periphery; the model is *closed-form in the batch size*,
+    which is what lets one plan serve every batch shape with zero
+    re-planning on the serving hot path.
+    """
+
+    #: Analog production latency of one macro-step (DAC drive + crossbar
+    #: cycle + ADC conversion), in cycles.
+    per_step_analog: float
+    #: ACE-to-DCE network transfer latency of one partial product.
+    transfer: float
+    #: DCE write latency of one staged partial product.
+    write: float
+    #: Pipeline depth of the DCE bit pipelines (accumulator word width).
+    depth: int
+    #: Largest recombination shift any step applies (unoptimised schedule
+    #: pays it as an explicit digital shift per partial product).
+    max_shift: int
+    #: Analog macro-steps per input vector.
+    steps_per_vector: int
+
+    def timeline(
+        self,
+        batch: int,
+        n_adds: int,
+        add_uops_per_bit: float,
+        optimized: bool,
+    ) -> Tuple[float, Dict[str, float]]:
+        """Wall-clock latency of an MVM batch under one Figure 10 schedule.
+
+        ``n_adds``/``add_uops_per_bit`` describe the pipelined ADD stream
+        (the backends derive them from the reduction they performed, so the
+        reference and analytic accountings stay value-identical).
+        """
+        steps = self.steps_per_vector * batch
+        breakdown: Dict[str, float] = {}
+        if optimized:
+            # Figure 10b: shifts happen in flight; ADC production, network
+            # transfer, and DCE writes are rate-matched and overlap, so the
+            # steady-state step cost is their maximum; the pipelined ADD
+            # stream drains afterwards.
+            step_cost = max(self.per_step_analog, self.transfer, self.write)
+            analog_phase = steps * step_cost
+            add_stream = (
+                add_uops_per_bit * self.depth + max(0, n_adds - 1) * add_uops_per_bit
+                if n_adds
+                else 0.0
+            )
+            breakdown["analog_and_transfer"] = analog_phase
+            breakdown["pipelined_adds"] = add_stream
+            total = analog_phase + add_stream
+        else:
+            # Figure 10a: every partial product pays analog production, write,
+            # an explicit digital shift, and a full (unpipelined) ADD before
+            # the next one may start.
+            per_partial = (
+                self.per_step_analog
+                + self.write
+                + float(self.max_shift)
+                + add_uops_per_bit * self.depth
+            )
+            total = steps * per_partial
+            breakdown["serialized_steps"] = total
+        breakdown["total"] = total
+        return total, breakdown
+
+
+@dataclass
+class MvmPlan:
+    """The compiled execution plan for one HCT-resident matrix allocation.
+
+    Built once by the :class:`~repro.plan.planner.Planner`, cached keyed on
+    ``(allocation, input_bits)``, and invalidated on release/reprogram
+    alongside the shard-kernel cache.  Every backend in the
+    :class:`~repro.plan.backends.BackendRegistry` executes this object --
+    two interpreters of one IR -- so results, ledgers, and timelines agree
+    bit for bit by construction of their shared operands.
+    """
+
+    #: The analog allocation this plan executes against.
+    handle: object
+    #: Input precision the schedule was compiled for.
+    input_bits: int
+    #: The (input bit, weight slice) recombination table (IIU contents).
+    shift_add: ShiftAddPlan
+    #: Fully unrolled analog schedule, reference issue order.
+    steps: Tuple[PlanStep, ...]
+    #: Digital reduction layout, one entry per column tile.
+    reduction: Tuple[ReductionStep, ...]
+    #: The ACE holding the allocation (and the shard-kernel cache).
+    ace: object
+    #: Analytic timeline model (Figure 10a/10b).
+    cost: PlanCostModel
+    #: First DCE pipeline reserved for this allocation's outputs.
+    output_base: int
+    #: Accumulator vector register of the reduction.
+    accumulator_vr: int
+    #: Staging vector registers the shift unit writes into (round-robin).
+    staging_vrs: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Logical matrix shape of the planned allocation."""
+        return self.handle.shape
+
+    @property
+    def kernel(self):
+        """Stacked per-shard conductance tensors (vectorized operand).
+
+        Delegates to the ACE's shard-kernel cache, so the tensors are built
+        lazily on first use: interpreters that never touch them (the
+        step-walking reference backend, the single-vector path) pay
+        nothing, while the vectorized and cost-only backends share one
+        snapshot per allocation.
+        """
+        return self.ace.kernel_for(self.handle)
+
+    @property
+    def num_steps(self) -> int:
+        """Analog macro-steps per input vector across all shards."""
+        return len(self.steps)
+
+    @property
+    def num_partial_products(self) -> int:
+        """Partial products one input vector produces."""
+        return len(self.steps)
+
+    def describe(self, max_steps: int = 12) -> str:
+        """Human-readable rendering of the compiled schedule.
+
+        >>> import numpy as np
+        >>> from repro.core.hct import HybridComputeTile
+        >>> from repro.core.config import HctConfig
+        >>> tile = HybridComputeTile(HctConfig.small())
+        >>> handle = tile.set_matrix(np.eye(4, dtype=np.int64), value_bits=2)
+        >>> plan = tile.planner.plan_for(handle, input_bits=2)
+        >>> print(plan.describe().splitlines()[0])
+        MvmPlan: 4x4 matrix, 2-bit weights @ 1 bit/cell (2 slices), 2-bit inputs
+        """
+        handle = self.handle
+        lines = [
+            f"MvmPlan: {handle.shape[0]}x{handle.shape[1]} matrix, "
+            f"{handle.value_bits}-bit weights @ {handle.bits_per_cell} bit/cell "
+            f"({handle.num_slices} slices), {self.input_bits}-bit inputs",
+            f"  topology : {handle.row_tiles} row tile(s) x {handle.col_tiles} "
+            f"col tile(s), arrays {list(handle.array_ids)}",
+            f"  schedule : {self.num_steps} analog macro-steps/vector "
+            f"({self.input_bits} input bits x {handle.num_slices} slices x "
+            f"{handle.row_tiles * handle.col_tiles} shards), "
+            f"exact-int fast path {'ON' if getattr(self.kernel, 'exact', False) else 'off'}",
+        ]
+        shown = self.steps[:max_steps]
+        for step in shown:
+            lines.append(
+                f"    [{step.input_bit}|{step.row_tile},{step.col_tile}|s{step.weight_slice}] "
+                f"array {step.array_id:>3}  rows {step.row_start}:{step.row_end}  "
+                f"cols @{step.col_offset}  shift {step.shift}"
+            )
+        if len(self.steps) > max_steps:
+            lines.append(f"    ... {len(self.steps) - max_steps} more steps")
+        for red in self.reduction:
+            lines.append(
+                f"  reduce   : col tile {red.col_tile} -> pipeline "
+                f"{self.output_base + red.col_tile}, width {red.width} @ "
+                f"{red.col_offset}, {red.partials_per_vector} partials/vector "
+                f"-> VR {self.accumulator_vr} via VRs {list(self.staging_vrs)}"
+            )
+        cost = self.cost
+        lines.append(
+            f"  cost     : step analog {cost.per_step_analog:.2f} cyc, "
+            f"transfer {cost.transfer:.2f}, write {cost.write:.0f}, "
+            f"depth {cost.depth}, max shift {cost.max_shift}, "
+            f"{cost.steps_per_vector} steps/vector"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One row band of a pooled allocation, compiled to its device."""
+
+    #: Position in the allocation's shard order (partial-sum merge order).
+    position: int
+    device_index: int
+    row_start: int
+    row_end: int
+    #: The device-level allocation holding this band.
+    device_allocation: object
+
+
+@dataclass
+class ShardedPlan:
+    """The pool-level compiled plan of one pooled allocation.
+
+    Captures the row-band-to-device topology once, so
+    ``DevicePool.exec_mvm_batch`` / ``exec_requests`` fan out over a cached
+    task table instead of re-deriving the grouping per request.  The
+    device-level :class:`MvmPlan` caches are warmed per ``input_bits``
+    through :meth:`DevicePool.compile` (``prepared_input_bits`` records
+    which precisions are hot).
+    """
+
+    allocation_id: int
+    shape: Tuple[int, int]
+    #: All shard tasks, in shard (merge) order.
+    tasks: Tuple[ShardTask, ...]
+    #: Tasks grouped by executing device (fan-out order).
+    tasks_by_device: Dict[int, Tuple[ShardTask, ...]]
+    #: Input precisions whose tile-level plans have been precompiled.
+    prepared_input_bits: Set[int] = field(default_factory=set)
+
+    @property
+    def num_shards(self) -> int:
+        """Row bands the allocation is split into."""
+        return len(self.tasks)
+
+    @property
+    def devices_used(self) -> List[int]:
+        """Indices of the devices holding at least one shard."""
+        return sorted(self.tasks_by_device)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the sharded topology."""
+        lines = [
+            f"ShardedPlan: allocation {self.allocation_id}, "
+            f"{self.shape[0]}x{self.shape[1]} over {self.num_shards} shard(s) "
+            f"on devices {self.devices_used}",
+        ]
+        for task in self.tasks:
+            lines.append(
+                f"  shard {task.position}: rows {task.row_start}:{task.row_end} "
+                f"-> device {task.device_index}"
+            )
+        if self.prepared_input_bits:
+            lines.append(
+                f"  precompiled input_bits: {sorted(self.prepared_input_bits)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""The Planner: compiles :class:`~repro.plan.ir.MvmPlan` objects, once.
+
+One planner instance lives on every
+:class:`~repro.core.hct.HybridComputeTile`.  ``plan_for`` is the only
+entry point: it returns the cached plan for ``(allocation, input_bits)``
+or builds it exactly once.  The cache itself is held by the tile's ACE --
+next to the shard-kernel cache and invalidated by the same ``release``
+path -- so ``update_row`` / ``update_col`` (which reprogram through
+release + ``set_matrix``) can never serve a stale schedule.
+
+``builds`` counts actual compilations; the serving layers aggregate it
+(`DevicePool.planner_builds`, `PumServer.planner_builds`) so tests can
+assert the hot path performs zero planning.
+"""
+
+from __future__ import annotations
+
+from ..analog.bitslicing import ShiftAddPlan
+from .ir import MvmPlan, PlanCostModel, ReductionStep, unroll_schedule
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Builds and caches execution plans for one hybrid compute tile."""
+
+    def __init__(self, tile) -> None:
+        self.tile = tile
+        #: Plans actually compiled (cache misses) over the tile's lifetime.
+        self.builds = 0
+        #: Cache hits served without compiling.
+        self.hits = 0
+
+    def plan_for(self, handle, input_bits: int) -> MvmPlan:
+        """The compiled plan for ``handle`` at ``input_bits`` (cached).
+
+        The cache key is ``(handle, input_bits)``; the plan's cost model is
+        closed-form in the batch size, so one plan serves every batch shape.
+        """
+        cache = self.tile.ace._plans
+        key = (handle.handle_id, int(input_bits))
+        plan = cache.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        plan = self._build(handle, int(input_bits))
+        cache[key] = plan
+        self.builds += 1
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Compilation                                                          #
+    # ------------------------------------------------------------------ #
+    def _build(self, handle, input_bits: int) -> MvmPlan:
+        tile = self.tile
+        ace = tile.ace
+        rows, cols = handle.shape
+        array_rows = ace.config.array_rows
+        array_cols = ace.config.array_cols
+
+        shift_add = ShiftAddPlan(
+            input_bits=input_bits,
+            weight_slices=handle.num_slices,
+            bits_per_cell=handle.bits_per_cell,
+        )
+        steps = unroll_schedule(handle, input_bits, array_rows, array_cols)
+
+        partials_per_col_tile = shift_add.num_partial_products * handle.row_tiles
+        reduction = tuple(
+            ReductionStep(
+                col_tile=col_tile,
+                col_offset=col_tile * array_cols,
+                width=min(cols - col_tile * array_cols, array_cols),
+                partials_per_vector=partials_per_col_tile,
+            )
+            for col_tile in range(handle.col_tiles)
+        )
+
+        # Analytic timeline parameters (Figure 10).  All arrays of a step
+        # operate concurrently, so the sample crossbar's periphery describes
+        # every step; input bits are serial, column tiles are not.
+        sample = ace.crossbar(handle.array_ids[0])
+        cols_per_tile = min(cols, array_cols)
+        adc_latency = sample.adc.conversion_latency(cols_per_tile, sample.num_adcs, None)
+        cost = PlanCostModel(
+            per_step_analog=sample.dac.drive_latency(rows) + 1.0 + adc_latency,
+            transfer=tile.shift_unit.transfer_cycles(cols_per_tile),
+            write=float(tile.config.dce.rows),
+            depth=tile.config.dce.pipeline_depth,
+            max_shift=shift_add.max_shift,
+            steps_per_vector=shift_add.num_partial_products * handle.row_tiles,
+        )
+
+        return MvmPlan(
+            handle=handle,
+            input_bits=input_bits,
+            shift_add=shift_add,
+            steps=steps,
+            reduction=reduction,
+            ace=ace,
+            cost=cost,
+            output_base=tile._matrix_output_pipeline.get(handle.handle_id, 0),
+            accumulator_vr=0,
+            staging_vrs=tuple(tile._staging_vrs()),
+        )

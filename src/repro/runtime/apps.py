@@ -256,7 +256,8 @@ def serve_aes_mixcolumns(
     """
     if matrix_name not in server.matrix_names:
         server.register_matrix(
-            matrix_name, mixcolumns_bit_matrix().T.copy(), element_size=1
+            matrix_name, mixcolumns_bit_matrix().T.copy(), element_size=1,
+            input_bits=1,
         )
     bit_vectors = columns_to_bits(columns)
     parity = _serve_all(server, matrix_name, bit_vectors, input_bits=1) & 1
@@ -286,7 +287,10 @@ def serve_cnn_conv(
     weight_matrix = conv.weight.reshape(conv.out_channels, -1).T
     q_weight = quantize(weight_matrix, bits=weight_bits)
     q_patches = quantize(patches[:positions], bits=activation_bits)
-    server.register_matrix(matrix_name, q_weight.values, element_size=weight_bits)
+    server.register_matrix(
+        matrix_name, q_weight.values, element_size=weight_bits,
+        input_bits=activation_bits + 1,
+    )
     corrected = _submit_shifted(
         server, matrix_name, q_patches.values,
         q_weight.values.sum(axis=0), input_bits=activation_bits + 1,
@@ -316,7 +320,10 @@ def serve_llm_projection(
         raise MappingError("serve_llm_projection expects 2-D activations and weights")
     q_weight = quantize(weight, bits=weight_bits)
     q_activations = quantize(activations, bits=activation_bits)
-    server.register_matrix(matrix_name, q_weight.values, element_size=weight_bits)
+    server.register_matrix(
+        matrix_name, q_weight.values, element_size=weight_bits,
+        input_bits=activation_bits + 1,
+    )
     corrected = _submit_shifted(
         server, matrix_name, q_activations.values,
         q_weight.values.sum(axis=0), input_bits=activation_bits + 1,

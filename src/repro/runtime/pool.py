@@ -14,6 +14,10 @@ sharding work across identical compute tiles:
   shard boundaries, run every shard on its own device (each shard's partial
   result is a full-width ``(batch, cols)`` contribution), and sum the
   partials -- the same map-reduce a multi-chip interconnect performs.
+* the row-band topology of every allocation is compiled once into a cached
+  :class:`~repro.plan.ir.ShardedPlan` (``compile`` additionally warms the
+  tile-level :class:`~repro.plan.ir.MvmPlan` caches), so the per-request
+  fan-out does zero planning.
 * ``total_ledger`` aggregates the cost ledgers of every device and chip so
   throughput/energy accounting stays a one-liner.
 """
@@ -29,6 +33,8 @@ import numpy as np
 from ..core.config import ChipConfig
 from ..errors import AllocationError, NoDevicesError, QuantizationError
 from ..metrics import CostLedger, merge_ledgers
+from ..plan.backends import ExecutionBackend
+from ..plan.ir import ShardTask, ShardedPlan
 from ..reram import NoiseConfig
 from .allocator import plan_matrix
 from .session import DarthPumDevice, MatrixAllocation
@@ -233,11 +239,12 @@ class DevicePool:
         the most free HCTs; ``"round_robin"`` cycles through the devices;
         ``"cache_affinity"`` keeps an allocation's shards on as few devices
         as possible.
-    engine:
-        Default execution engine for every device MVM issued by this pool
-        (``"vectorized"`` or ``"reference"``; ``None`` defers to the
-        library default, which is vectorized).  Individual calls may
-        override it.
+    backend:
+        Default execution backend for every device MVM issued by this pool
+        (a name from the :class:`~repro.plan.backends.BackendRegistry` or
+        an :class:`~repro.plan.backends.ExecutionBackend` instance;
+        ``None`` defers to the library default, which is vectorized).
+        Individual calls may override it.
     parallel:
         When True (the default) and a call fans out to more than one
         device, the per-device work runs on a shared
@@ -258,7 +265,7 @@ class DevicePool:
         config: Optional[ChipConfig] = None,
         noise: Optional[NoiseConfig] = None,
         policy: Union[str, PlacementPolicy] = "least_loaded",
-        engine: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
         parallel: bool = True,
         max_workers: Optional[int] = None,
     ) -> None:
@@ -270,11 +277,12 @@ class DevicePool:
         self.devices: List[DarthPumDevice] = [
             DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
         ]
-        self.engine = engine
+        self.backend = backend
         self.parallel = bool(parallel)
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
         self._allocations: Dict[int, PooledAllocation] = {}
+        self._sharded_plans: Dict[int, ShardedPlan] = {}
         self._next_allocation = 0
 
     @property
@@ -392,6 +400,62 @@ class DevicePool:
             start = end
         return shards
 
+    # ------------------------------------------------------------------ #
+    # Plan compilation                                                     #
+    # ------------------------------------------------------------------ #
+    def sharded_plan(self, allocation: PooledAllocation) -> ShardedPlan:
+        """The cached row-band-to-device plan of ``allocation``.
+
+        Built once per allocation (topology only -- no device work) and
+        reused by every subsequent call; ``release`` invalidates it.
+        """
+        plan = self._sharded_plans.get(allocation.allocation_id)
+        if plan is None:
+            tasks = tuple(
+                ShardTask(
+                    position=position,
+                    device_index=shard.device_index,
+                    row_start=shard.row_start,
+                    row_end=shard.row_end,
+                    device_allocation=device_allocation,
+                )
+                for position, (shard, device_allocation) in enumerate(allocation.shards)
+            )
+            by_device: Dict[int, List[ShardTask]] = {}
+            for task in tasks:
+                by_device.setdefault(task.device_index, []).append(task)
+            plan = ShardedPlan(
+                allocation_id=allocation.allocation_id,
+                shape=allocation.shape,
+                tasks=tasks,
+                tasks_by_device={k: tuple(v) for k, v in by_device.items()},
+            )
+            self._sharded_plans[allocation.allocation_id] = plan
+        return plan
+
+    def compile(
+        self, allocation: PooledAllocation, input_bits: int = 8
+    ) -> ShardedPlan:
+        """Compile the full execution plan of ``allocation`` ahead of time.
+
+        Builds (or fetches) the pool-level :class:`ShardedPlan` and warms
+        every tile-level :class:`~repro.plan.ir.MvmPlan` cache at
+        ``input_bits``, so the serving hot path performs zero planning --
+        ``PumServer.register_matrix`` calls this once per registration.
+        """
+        plan = self.sharded_plan(allocation)
+        if input_bits not in plan.prepared_input_bits:
+            for task in plan.tasks:
+                self.devices[task.device_index].compile(
+                    task.device_allocation, input_bits=input_bits
+                )
+            plan.prepared_input_bits.add(input_bits)
+        return plan
+
+    def planner_builds(self) -> int:
+        """Execution plans compiled across every device in the pool."""
+        return sum(device.planner_builds() for device in self.devices)
+
     def exec_mvm(
         self,
         allocation: PooledAllocation,
@@ -406,10 +470,10 @@ class DevicePool:
                 f"input vector of shape {vector.shape} does not match matrix rows ({rows})"
             )
         result = np.zeros(cols, dtype=np.int64)
-        for shard, device_allocation in allocation.shards:
-            device = self.devices[shard.device_index]
+        for task in self.sharded_plan(allocation).tasks:
+            device = self.devices[task.device_index]
             result += device.exec_mvm(
-                device_allocation, vector[shard.row_start: shard.row_end],
+                task.device_allocation, vector[task.row_start: task.row_end],
                 input_bits=input_bits,
             )
         return result
@@ -430,11 +494,15 @@ class DevicePool:
         on the next multi-device call -- but long-lived processes that churn
         through many pools should close each one (or use the pool as a
         context manager) so idle worker threads do not accumulate until
-        interpreter shutdown.
+        interpreter shutdown.  Safe to call repeatedly and after a failed
+        fan-out: the executor reference is detached before shutdown, so even
+        a shutdown that raises leaves the pool consistent, and a fan-out
+        failure (which joins every sibling worker before re-raising) never
+        leaves orphaned work behind for ``close`` to trip over.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "DevicePool":
         return self
@@ -485,18 +553,19 @@ class DevicePool:
         allocation: PooledAllocation,
         vectors: np.ndarray,
         input_bits: int = 8,
-        engine: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> np.ndarray:
         """Map-reduce a batch of MVMs over the allocation's shards.
 
         Every shard's device executes its row band for the whole batch in
         one :meth:`~repro.runtime.session.DarthPumDevice.exec_mvm_batch`
-        pass.  Shards living on different devices run concurrently on the
-        fan-out thread pool (NumPy releases the GIL); the full-width partial
-        results are summed in shard order, so the output is identical to the
-        serial schedule.
+        pass, fanning out over the cached :class:`ShardedPlan` (zero
+        per-request planning).  Shards living on different devices run
+        concurrently on the fan-out thread pool (NumPy releases the GIL);
+        the full-width partial results are summed in shard order, so the
+        output is identical to the serial schedule.
         """
-        engine = engine if engine is not None else self.engine
+        backend = backend if backend is not None else self.backend
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
         rows, cols = allocation.shape
         if vectors.shape[1] != rows:
@@ -504,23 +573,17 @@ class DevicePool:
                 f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
             )
         result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
+        plan = self.sharded_plan(allocation)
 
-        tasks_by_device: Dict[int, List] = {}
-        for position, (shard, device_allocation) in enumerate(allocation.shards):
-            tasks_by_device.setdefault(shard.device_index, []).append(
-                (position, shard, device_allocation)
-            )
-
-        def run(device_index: int, task):
-            position, shard, device_allocation = task
+        def run(device_index: int, task: ShardTask):
             partial = self.devices[device_index].exec_mvm_batch(
-                device_allocation, vectors[:, shard.row_start: shard.row_end],
-                input_bits=input_bits, engine=engine,
+                task.device_allocation, vectors[:, task.row_start: task.row_end],
+                input_bits=input_bits, backend=backend,
             )
-            return position, partial
+            return task.position, partial
 
-        partials = self._run_device_tasks(tasks_by_device, run)
-        for position in range(len(allocation.shards)):
+        partials = self._run_device_tasks(plan.tasks_by_device, run)
+        for position in range(plan.num_shards):
             result += partials[position]
         return result
 
@@ -528,20 +591,21 @@ class DevicePool:
         self,
         requests: Sequence[Tuple[PooledAllocation, np.ndarray]],
         input_bits: int = 8,
-        engine: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> List[np.ndarray]:
         """Serve a list of ``(allocation, vectors)`` requests.
 
         Requests against matrices placed on different devices by the
         scheduler run on independent chips concurrently (one fan-out worker
         per device, each draining its share of the request list in order);
-        each request's vectors go through the batched path.  Returns one
-        result array per request, in request order, bit-identical to the
-        serial schedule.
+        each request's vectors go through the batched path over its cached
+        :class:`ShardedPlan`.  Returns one result array per request, in
+        request order, bit-identical to the serial schedule.
         """
-        engine = engine if engine is not None else self.engine
+        backend = backend if backend is not None else self.backend
         batches: List[np.ndarray] = []
         shapes: List[Tuple[int, int]] = []
+        plans: List[ShardedPlan] = []
         tasks_by_device: Dict[int, List] = {}
         for index, (allocation, vectors) in enumerate(requests):
             vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
@@ -553,34 +617,37 @@ class DevicePool:
                 )
             batches.append(vectors)
             shapes.append((vectors.shape[0], cols))
-            for position, (shard, device_allocation) in enumerate(allocation.shards):
-                tasks_by_device.setdefault(shard.device_index, []).append(
-                    (index, position, shard, device_allocation)
+            plan = self.sharded_plan(allocation)
+            plans.append(plan)
+            for task in plan.tasks:
+                tasks_by_device.setdefault(task.device_index, []).append(
+                    (index, task)
                 )
 
-        def run(device_index: int, task):
-            index, position, shard, device_allocation = task
+        def run(device_index: int, item):
+            index, task = item
             partial = self.devices[device_index].exec_mvm_batch(
-                device_allocation,
-                batches[index][:, shard.row_start: shard.row_end],
-                input_bits=input_bits, engine=engine,
+                task.device_allocation,
+                batches[index][:, task.row_start: task.row_end],
+                input_bits=input_bits, backend=backend,
             )
-            return (index, position), partial
+            return (index, task.position), partial
 
         partials = self._run_device_tasks(tasks_by_device, run)
         results: List[np.ndarray] = []
-        for index, (allocation, _) in enumerate(requests):
+        for index, plan in enumerate(plans):
             total = np.zeros(shapes[index], dtype=np.int64)
-            for position in range(len(allocation.shards)):
+            for position in range(plan.num_shards):
                 total += partials[(index, position)]
             results.append(total)
         return results
 
     def release(self, allocation: PooledAllocation) -> None:
-        """Free every shard of a pooled allocation."""
+        """Free every shard (and the compiled plans) of a pooled allocation."""
         for shard, device_allocation in allocation.shards:
             self.devices[shard.device_index].release(device_allocation)
         self._allocations.pop(allocation.allocation_id, None)
+        self._sharded_plans.pop(allocation.allocation_id, None)
 
     # ------------------------------------------------------------------ #
     # Introspection / accounting                                           #

@@ -32,12 +32,13 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import AdmissionError, QuantizationError, ReproError, SchedulerError
 from ..metrics import percentile
+from ..plan.backends import ExecutionBackend
 from .pool import DevicePool, PooledAllocation
 
 __all__ = [
@@ -266,16 +267,16 @@ class PumServer:
         max_wait_ticks: int = 4,
         queue_capacity: int = 64,
         admission: str = "reject",
-        engine: Optional[str] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         self.pool = pool if pool is not None else DevicePool(
-            num_devices=num_devices, policy=policy, engine=engine
+            num_devices=num_devices, policy=policy, backend=backend
         )
-        #: Execution engine for batches dispatched by this server; ``None``
+        #: Execution backend for batches dispatched by this server; ``None``
         #: defers to the pool's default.  Kept server-side so two servers
-        #: sharing one pool can run different engines without mutating the
+        #: sharing one pool can run different backends without mutating the
         #: shared pool.
-        self.engine = engine
+        self.backend = backend
         self.batching = BatchingConfig(
             max_batch=max_batch,
             max_wait_ticks=max_wait_ticks,
@@ -311,23 +312,31 @@ class PumServer:
         matrix: np.ndarray,
         element_size: int = 8,
         precision: int = 0,
+        input_bits: int = 8,
     ) -> PooledAllocation:
         """Place ``matrix`` on the pool under ``name`` (replacing any old one).
 
         Programming multi-bit analog devices is slow and energetic, so a
         re-registration whose matrix bytes and quantisation config match the
         live allocation is a no-op: the existing shards -- and with them the
-        devices' shard kernel caches -- are reused untouched
+        devices' shard kernel and plan caches -- are reused untouched
         (``registration_reuses`` counts these).  Otherwise re-registration
         passes the previous shards' devices as the affinity hint, so the
         cache-affinity policy keeps updated matrices on chips whose ReRAM
         arrays already hold the stale version.
+
+        Registration is also when *all* planning happens: the pool compiles
+        the sharded execution plan (and the tile-level plans at
+        ``input_bits``, the precision requests against this matrix are
+        expected to use) ahead of time, so the request hot path hits only
+        caches -- ``planner_builds()`` stays flat while serving.
         """
         with self._lock:
             fingerprint = self._fingerprint(matrix, element_size, precision)
             previous = self._matrices.get(name)
             if previous is not None and self._fingerprints.get(name) == fingerprint:
                 self.registration_reuses += 1
+                self.pool.compile(previous, input_bits=input_bits)
                 return previous
             affinity: Tuple[int, ...] = ()
             if previous is not None:
@@ -338,9 +347,14 @@ class PumServer:
                 matrix, element_size=element_size, precision=precision,
                 affinity=affinity,
             )
+            self.pool.compile(allocation, input_bits=input_bits)
             self._matrices[name] = allocation
             self._fingerprints[name] = fingerprint
             return allocation
+
+    def planner_builds(self) -> int:
+        """Execution plans compiled across the pool (registration-time only)."""
+        return self.pool.planner_builds()
 
     @property
     def matrix_names(self) -> Tuple[str, ...]:
@@ -531,7 +545,7 @@ class PumServer:
         energy_before = self.pool.total_ledger().energy_pj
         try:
             results = self.pool.exec_mvm_batch(
-                allocation, vectors, input_bits=input_bits, engine=self.engine
+                allocation, vectors, input_bits=input_bits, backend=self.backend
             )
         except ReproError as exc:
             # A failing batch must never wedge the scheduler: resolve every

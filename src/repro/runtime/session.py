@@ -19,7 +19,7 @@ precision scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,6 +28,8 @@ from ..core.chip import DarthPumChip
 from ..core.config import ChipConfig
 from ..errors import QuantizationError
 from ..metrics import CostLedger
+from ..plan.backends import ExecutionBackend, resolve_backend
+from ..plan.ir import MvmPlan
 from ..reram import NoiseConfig
 from .allocator import MatrixPlacement, plan_matrix, precision_to_bits_per_cell
 
@@ -90,8 +92,8 @@ class DarthPumDevice:
     True
 
     For serving-style traffic, :meth:`exec_mvm_batch` pushes a whole batch of
-    vectors through the chip in one arbiter pass (see the batched execution
-    engine in ``docs/architecture.md``).
+    vectors through the chip in one arbiter pass (see the plan/compile/execute
+    split in ``docs/architecture.md``).
     """
 
     def __init__(
@@ -179,7 +181,7 @@ class DarthPumDevice:
         allocation: MatrixAllocation,
         vectors: np.ndarray,
         input_bits: int = 8,
-        engine: Optional[str] = None,
+        backend: Union[None, str, "ExecutionBackend"] = None,
     ) -> np.ndarray:
         """execMVMBatch(): multiply a batch of vectors by the stored matrix.
 
@@ -188,8 +190,8 @@ class DarthPumDevice:
         scheduled through the ACE/DCE of every HCT holding a block of the
         matrix in a single arbiter pass, so front-end, injection, and
         (host-side) interpreter overheads are paid once per batch instead of
-        once per vector.  ``engine`` selects the host-side implementation
-        (``"vectorized"``, the default, or the loop-faithful
+        once per vector.  ``backend`` selects the plan interpreter
+        (``"vectorized"``, the default, or the step-faithful
         ``"reference"``); the two are bit-identical, including ledger
         totals.  In the noise-free configuration the rows are bit-identical
         to ``batch`` sequential :meth:`exec_mvm` calls.
@@ -214,18 +216,39 @@ class DarthPumDevice:
         result = np.zeros((batch, cols), dtype=np.int64)
         if batch == 0:
             return result
+        executor = resolve_backend(backend)
         for tile in allocation.placement.tiles:
             hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
             hct = self.chip.hct(hct_index)
             handle = allocation.handles[tile.hct_slot]
             sub_vectors = vectors[:, tile.row_start: tile.row_end]
             sub_result = hct.execute_mvm_batch(
-                handle, sub_vectors, input_bits=input_bits, engine=engine
+                handle, sub_vectors, input_bits=input_bits, backend=executor
             )
             result[:, tile.col_start: tile.col_end] += sub_result.values
             self.ledger.charge("runtime.mvm_batch", cycles=sub_result.optimized_cycles,
                                energy_pj=sub_result.energy_pj)
         return result
+
+    def compile(self, allocation: MatrixAllocation, input_bits: int = 8) -> List[MvmPlan]:
+        """Compile (and cache) the execution plans of every tile block.
+
+        Serving layers call this at registration time so the per-request
+        hot path never plans: every subsequent ``exec_mvm`` /
+        ``exec_mvm_batch`` against ``allocation`` at ``input_bits`` hits the
+        tile-level plan caches.  Idempotent -- recompiling is a cache hit.
+        """
+        plans: List[MvmPlan] = []
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            plans.append(hct.planner.plan_for(handle, input_bits))
+        return plans
+
+    def planner_builds(self) -> int:
+        """Execution plans compiled on this device (see ``DarthPumChip``)."""
+        return self.chip.planner_builds()
 
     def update_row(self, allocation: MatrixAllocation, row: int, values: np.ndarray) -> None:
         """updateRow(): rewrite one matrix row across the affected HCTs."""

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.plan import ir
 from repro.runtime import allocator, apps, pool, session
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -26,7 +27,7 @@ DOC_FILES = [
 ]
 
 #: Modules whose docstring examples form the executable API documentation.
-DOCTEST_MODULES = [allocator, apps, pool, session]
+DOCTEST_MODULES = [allocator, apps, ir, pool, session]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -1,13 +1,15 @@
-"""Engine equivalence: the vectorized bit-plane engine vs the looped reference.
+"""Backend equivalence: the vectorized executor vs the step-faithful reference.
 
-The vectorized engine is the default execution path, so its contract is
+Both executors interpret the same compiled :class:`~repro.plan.ir.MvmPlan`,
+and the vectorized one is the default execution path, so its contract is
 strict: across noise presets, weight slicings, multi-tile shapes, batch
-sizes, and all three serving workloads it must match ``engine="reference"``
-bit for bit -- results, cost-ledger totals *and* breakdowns, timelines, and
-IIU statistics.  These tests pin that contract down, plus the satellite
-behaviours that ride on the kernel layer: the per-allocation shard kernel
-cache, the memoised ``PumServer.register_matrix``, and the parallel
-device-pool fan-out.
+sizes, and all three serving workloads it must match
+``backend="reference"`` bit for bit -- results, cost-ledger totals *and*
+breakdowns, timelines, and IIU statistics.  These tests pin that contract
+down, plus the satellite behaviours that ride on the kernel layer: the
+per-allocation shard kernel cache, the memoised
+``PumServer.register_matrix``, and the parallel device-pool fan-out.
+(Plan-cache lifecycle and registry behaviour live in ``tests/test_plan.py``.)
 """
 
 from __future__ import annotations
@@ -18,9 +20,9 @@ import pytest
 from repro import ChipConfig, DevicePool, HctConfig, PumServer
 from repro.analog.bitslicing import slice_inputs, slice_inputs_tensor
 from repro.analog.compensation import ParasiticCompensation
-from repro.analog.kernels import DEFAULT_ENGINE, resolve_engine
 from repro.core.hct import HybridComputeTile
 from repro.errors import ConfigurationError
+from repro.plan import BACKENDS, DEFAULT_BACKEND, ReferenceExecutor, resolve_backend
 from repro.reram import NoiseConfig, ParasiticModel
 from repro.runtime.apps import (
     serve_aes_mixcolumns,
@@ -65,7 +67,7 @@ SHAPE_CASES = {
 }
 
 
-def run_engine(engine, preset, shape_case):
+def run_engine(backend, preset, shape_case):
     shape, value_bits, bits_per_cell, input_bits, batch = shape_case
     rng = np.random.default_rng(2024)
     magnitude = 2 ** (value_bits - 1)
@@ -73,7 +75,9 @@ def run_engine(engine, preset, shape_case):
     vectors = rng.integers(0, 2 ** input_bits, size=(batch, shape[0]))
     tile = HybridComputeTile(HctConfig.small(), **preset)
     handle = tile.set_matrix(matrix, value_bits=value_bits, bits_per_cell=bits_per_cell)
-    result = tile.execute_mvm_batch(handle, vectors, input_bits=input_bits, engine=engine)
+    result = tile.execute_mvm_batch(
+        handle, vectors, input_bits=input_bits, backend=backend
+    )
     return result, tile.ledger, matrix, vectors
 
 
@@ -110,12 +114,12 @@ class TestEngineEquivalence:
         matrix = rng.integers(-8, 8, size=(16, 12))
         vectors = rng.integers(0, 16, size=(4, 16))
         outs = {}
-        for engine in ("reference", "vectorized"):
+        for backend in ("reference", "vectorized"):
             tile = HybridComputeTile(HctConfig.small())
             handle = tile.set_matrix(matrix, value_bits=4)
             tile.disable_digital_mode()
-            outs[engine] = tile.execute_mvm_batch(
-                handle, vectors, input_bits=4, engine=engine
+            outs[backend] = tile.execute_mvm_batch(
+                handle, vectors, input_bits=4, backend=backend
             )
         assert np.array_equal(outs["reference"].values, outs["vectorized"].values)
         assert outs["reference"].optimized_cycles == outs["vectorized"].optimized_cycles
@@ -127,22 +131,24 @@ class TestEngineEquivalence:
         remapped = compensation.remap(matrix01)
         vectors = np.array([[1, 0, 1, 1, 0, 0, 1, 0], [1, 1, 1, 1, 0, 0, 0, 0]])
         outs = {}
-        for engine in ("reference", "vectorized"):
+        for backend in ("reference", "vectorized"):
             tile = HybridComputeTile(HctConfig.small())
             handle = tile.set_matrix(remapped, value_bits=2)
-            outs[engine] = tile.execute_mvm_batch(
-                handle, vectors, input_bits=1, engine=engine,
+            outs[backend] = tile.execute_mvm_batch(
+                handle, vectors, input_bits=1, backend=backend,
                 compensation=compensation,
             ).values
         assert np.array_equal(outs["reference"], outs["vectorized"])
         assert np.array_equal(outs["vectorized"], vectors @ matrix01)
 
-    def test_vectorized_is_the_default_engine(self):
-        assert DEFAULT_ENGINE == "vectorized"
-        assert resolve_engine(None) == "vectorized"
-        assert resolve_engine("reference") == "reference"
+    def test_vectorized_is_the_default_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert DEFAULT_BACKEND == "vectorized"
+        assert resolve_backend(None).name == "vectorized"
+        assert isinstance(resolve_backend("reference"), ReferenceExecutor)
+        assert {"reference", "vectorized"} <= set(BACKENDS.names())
         with pytest.raises(ConfigurationError):
-            resolve_engine("turbo")
+            resolve_backend("turbo")
 
     def test_slice_inputs_tensor_matches_slice_inputs(self):
         rng = np.random.default_rng(9)
@@ -160,10 +166,12 @@ class TestShardKernelCache:
         handle = tile.set_matrix(np.eye(8, dtype=np.int64), value_bits=4)
         assert tile.ace.cached_kernels == 0
         vectors = np.ones((2, 8), dtype=np.int64)
-        tile.execute_mvm_batch(handle, vectors, input_bits=2)
+        # The tensors belong to the vectorized interpreter (pinned here so
+        # the assertion holds under any REPRO_BACKEND default).
+        tile.execute_mvm_batch(handle, vectors, input_bits=2, backend="vectorized")
         assert tile.ace.cached_kernels == 1
         kernel = tile.ace.kernel_for(handle)
-        tile.execute_mvm_batch(handle, vectors, input_bits=2)
+        tile.execute_mvm_batch(handle, vectors, input_bits=2, backend="vectorized")
         assert tile.ace.kernel_for(handle) is kernel  # reused, not rebuilt
 
     def test_cache_invalidated_on_reprogram(self):
@@ -171,13 +179,14 @@ class TestShardKernelCache:
         matrix = np.eye(8, dtype=np.int64)
         handle = tile.set_matrix(matrix, value_bits=4)
         vectors = np.arange(16, dtype=np.int64).reshape(2, 8) % 4
-        tile.execute_mvm_batch(handle, vectors, input_bits=2)
+        tile.execute_mvm_batch(handle, vectors, input_bits=2, backend="vectorized")
         assert tile.ace.cached_kernels == 1
         new_handle = tile.ace.update_row(handle, 0, np.array([3, 0, 0, 0, 0, 0, 0, 1]))
         assert tile.ace.cached_kernels == 0  # stale entry dropped with release
         updated = matrix.copy()
         updated[0] = [3, 0, 0, 0, 0, 0, 0, 1]
-        out = tile.execute_mvm_batch(new_handle, vectors, input_bits=2)
+        out = tile.execute_mvm_batch(new_handle, vectors, input_bits=2,
+                                     backend="vectorized")
         assert np.array_equal(out.values, vectors @ updated)
 
     def test_exact_fast_path_disabled_under_programming_noise(self):
@@ -299,15 +308,15 @@ class TestParallelFanout:
         out = pool.exec_mvm_batch(allocation, vectors, input_bits=8)
         assert np.array_equal(out, vectors @ matrix)
 
-    def test_engine_override_per_call(self):
+    def test_backend_override_per_call(self):
         rng = np.random.default_rng(29)
         matrix = rng.integers(-8, 8, size=(8, 8))
         vectors = rng.integers(0, 4, size=(2, 8))
-        pool = DevicePool(num_devices=1, engine="reference")
+        pool = DevicePool(num_devices=1, backend="reference")
         allocation = pool.set_matrix(matrix, element_size=4)
         default_out = pool.exec_mvm_batch(allocation, vectors, input_bits=2)
         override_out = pool.exec_mvm_batch(
-            allocation, vectors, input_bits=2, engine="vectorized"
+            allocation, vectors, input_bits=2, backend="vectorized"
         )
         assert np.array_equal(default_out, override_out)
         assert np.array_equal(override_out, vectors @ matrix)
@@ -319,9 +328,9 @@ class TestWorkloadEquivalence:
     @staticmethod
     def _servers():
         return {
-            engine: PumServer(num_devices=2, max_batch=8, max_wait_ticks=2,
-                              engine=engine)
-            for engine in ("reference", "vectorized")
+            backend: PumServer(num_devices=2, max_batch=8, max_wait_ticks=2,
+                               backend=backend)
+            for backend in ("reference", "vectorized")
         }
 
     def test_aes_mixcolumns(self):

@@ -203,3 +203,56 @@ class TestServing:
             d.chip.total_ledger().snapshot().energy_pj for d in pool.devices
         )
         assert snapshot.energy_pj == pytest.approx(chip_energy)
+
+
+class TestClose:
+    """`close()` is idempotent and safe after a failed fan-out."""
+
+    def test_close_is_idempotent(self, rng):
+        pool = tiny_pool()
+        matrix = rng.integers(-8, 8, size=(100, 30))
+        allocation = pool.set_matrix(matrix, element_size=4)
+        vectors = rng.integers(0, 8, size=(2, 100))
+        pool.exec_mvm_batch(allocation, vectors, input_bits=3)  # spins workers up
+        pool.close()
+        assert pool._executor is None
+        pool.close()  # second close must be a no-op, not an error
+        pool.close()
+        # The pool stays usable: the executor is rebuilt lazily.
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+        assert np.array_equal(out, vectors @ matrix)
+        pool.close()
+
+    def test_close_safe_after_failed_fanout(self, rng):
+        pool = tiny_pool(num_devices=3)
+        matrix = rng.integers(-8, 8, size=(120, 30))
+        allocation = pool.set_matrix(matrix, element_size=4)
+        assert len(allocation.devices_used) > 1
+        failing = allocation.devices_used[0]
+        original = pool.devices[failing].exec_mvm_batch
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected device fault")
+
+        pool.devices[failing].exec_mvm_batch = boom
+        vectors = rng.integers(0, 8, size=(2, 120))
+        with pytest.raises(RuntimeError, match="injected device fault"):
+            pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+        # Every sibling worker was joined before the raise; shutdown must
+        # neither hang nor leave the pool in a half-closed state.
+        pool.close()
+        pool.close()
+        pool.devices[failing].exec_mvm_batch = original
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+        assert np.array_equal(out, vectors @ matrix)
+        pool.close()
+
+    def test_context_manager_closes_even_on_error(self, rng):
+        matrix = rng.integers(-8, 8, size=(100, 30))
+        vectors = rng.integers(0, 8, size=(2, 100))
+        with pytest.raises(RuntimeError, match="sentinel"):
+            with tiny_pool() as pool:
+                allocation = pool.set_matrix(matrix, element_size=4)
+                pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+                raise RuntimeError("sentinel")
+        assert pool._executor is None
