@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench kernel-bench plan-dump profile lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -34,6 +34,14 @@ batch-bench:
 serve-bench:
 	$(PY) -m pytest benchmarks/test_serving_throughput.py -q
 
+# The serving fast-path acceptance gate (>=3x p50 tick-loop speedup over the
+# pre-rework scheduler at 256 queued requests, bit-identical responses and
+# ledgers).  Writes benchmarks/artifacts/serving_latency.json; set
+# REPRO_BENCH_RECORD=1 (as the CI benchmarks job does) to also append the
+# headline numbers to BENCH_serving.json.
+serve-latency-bench:
+	$(PY) -m pytest benchmarks/test_serving_latency.py -q
+
 # The vectorized-backend acceptance gate (>=10x over backend="reference" on
 # a 64x64 batch-32 MVM).  Writes benchmarks/artifacts/kernel_speedup.json;
 # set REPRO_BENCH_RECORD=1 (as the CI benchmarks job does) to also append
@@ -48,6 +56,11 @@ plan-dump:
 # cProfile the serving benchmark and print the top-20 cumulative hot spots.
 profile:
 	$(PY) benchmarks/profile_serving.py
+
+# cProfile the scheduler tick loop at serving depth (256 queued requests
+# over 8 matrices, bulk ingress) and print the top-25 hot spots.
+profile-server:
+	$(PY) benchmarks/profile_server_tick.py
 
 # Lint/format gate (needs ruff: pip install -r requirements-dev.txt).
 lint:

@@ -1,0 +1,79 @@
+"""cProfile the PumServer tick loop at serving depth (``make profile-server``).
+
+Drives the same multi-tenant mix as ``benchmarks/test_serving_latency.py``
+-- waves of bulk-admitted requests over several registered matrices,
+coalesced and drained by the deterministic tick loop -- under
+:mod:`cProfile`, and prints the top-25 functions by cumulative time.  This
+is the profile-guided loop behind the bulk-ingress fast path: whatever tops
+this list is the next scheduler optimisation target.
+
+Usage::
+
+    make profile-server
+    # or directly:
+    PYTHONPATH=src python benchmarks/profile_server_tick.py [num_waves]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+import numpy as np
+
+from repro import PumServer
+
+QUEUED = 256
+NUM_MATRICES = 8
+REQUESTS_PER_MATRIX = QUEUED // NUM_MATRICES
+MATRIX_SHAPE = (16, 16)
+INPUT_BITS = 4
+ELEMENT_SIZE = 4
+MAX_BATCH = 32
+
+
+def run_tick_loop(num_waves: int = 20) -> None:
+    """Serve ``num_waves`` full 256-request waves through the tick loop."""
+    rng = np.random.default_rng(11)
+    matrices = [
+        rng.integers(-7, 8, size=MATRIX_SHAPE) for _ in range(NUM_MATRICES)
+    ]
+    vectors = rng.integers(
+        0, 1 << INPUT_BITS,
+        size=(NUM_MATRICES, REQUESTS_PER_MATRIX, MATRIX_SHAPE[0]),
+    )
+    server = PumServer(
+        num_devices=2, max_batch=MAX_BATCH, max_wait_ticks=4,
+        queue_capacity=QUEUED,
+    )
+    for index, matrix in enumerate(matrices):
+        server.register_matrix(
+            f"m{index}", matrix, element_size=ELEMENT_SIZE,
+            input_bits=INPUT_BITS,
+        )
+    for _ in range(num_waves):
+        futures = [
+            server.submit_batch(f"m{i}", vectors[i], input_bits=INPUT_BITS)
+            for i in range(NUM_MATRICES)
+        ]
+        server.run_until_idle()
+        assert all(f.result().ok for group in futures for f in group)
+    assert server.queue_scans() == 0  # the tick loop never scans the queue
+
+
+def main() -> None:
+    num_waves = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_tick_loop(num_waves)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"# top-25 cumulative hot spots ({num_waves} waves x {QUEUED} requests)")
+    stats.print_stats(25)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,313 @@
+"""Serving-latency gate: the bulk-ingress fast path vs the pre-rework path.
+
+With the compute kernel ~30x faster than the reference walk and all planning
+hoisted to registration time, end-to-end serving latency is dominated by
+per-request Python overhead in the scheduler: O(queue) readiness scans,
+one-request-at-a-time admission, and ``np.stack`` batch assembly.  This gate
+pins the rework of that path.  It drives an identical multi-tenant workload
+-- :data:`QUEUED` single-vector requests spread over :data:`NUM_MATRICES`
+registered matrices -- through two servers:
+
+* :class:`PrePrServer`, an executable record of the previous serving hot
+  path: flat-list queue (full-queue scans per readiness check), one
+  ``submit()`` per request, ``np.stack`` batch assembly, and per-batch
+  energy deltas read through a full ledger merge including the chip slot
+  scan;
+* the stock :class:`~repro.runtime.server.PumServer`: bulk ``submit_batch``
+  admission (one validation pass per wave), the indexed queue (O(ready
+  work) ticks), zero-copy batch assembly, and breakdown-free energy totals.
+
+Both servers dispatch byte-identical batches to the same backend, so the
+kernel-execution time inside ``DevicePool.exec_mvm_batch`` is common-mode;
+the gate therefore measures the **tick-loop (scheduler) time** -- drain
+wall-clock minus the execution time recorded by an identical shim around
+the pool call on both servers -- and requires the fast path's p50 at 256
+queued requests to be at least :data:`REQUIRED_SPEEDUP` times better (the
+end-to-end drain speedup is also recorded and sanity-gated).  Responses
+and pool ledgers must be **bit-identical** between the two paths, and the
+indexed queue's ``queue_scans()`` must stay flat (zero) on the tick loop
+regardless of depth.
+
+The measured numbers are written to
+``benchmarks/artifacts/serving_latency.json``; when ``REPRO_BENCH_RECORD=1``
+(the CI benchmarks job) the headline numbers are also appended to the
+``BENCH_serving.json`` trajectory at the repo root, alongside the kernel
+trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import PumServer
+from repro.metrics import merge_ledgers
+from repro.runtime.server import ServerFuture
+
+QUEUED = 256
+NUM_MATRICES = 8
+REQUESTS_PER_MATRIX = QUEUED // NUM_MATRICES
+MAX_BATCH = 32
+MATRIX_SHAPE = (16, 16)
+INPUT_BITS = 4
+ELEMENT_SIZE = 4
+REPEATS = 11
+REQUIRED_SPEEDUP = 3.0
+#: Sanity floor on the end-to-end drain speedup (the headline gate is on
+#: the scheduler loop; end to end includes the shared kernel execution).
+REQUIRED_END_TO_END = 1.5
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_serving.json"
+
+
+class EagerFuture(ServerFuture):
+    """The pre-rework future: a ``threading.Event`` allocated per request
+    (and fired on every resolution) instead of the fast path's lazy event."""
+
+    __slots__ = ()
+
+    def __init__(self, request_id: int) -> None:
+        super().__init__(request_id)
+        self._event = threading.Event()
+
+
+class PrePrServer(PumServer):
+    """Executable record of the pre-rework serving hot path (the baseline).
+
+    Scheduling semantics are identical -- same dispatch order, same
+    responses, same ledger charges -- only the data structures differ, which
+    is exactly what makes the measured speedup attributable to the fast
+    path.
+    """
+
+    future_factory = EagerFuture
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(queue="flat", **kwargs)
+
+    def _assemble_batch(self, allocation, input_bits, batch):
+        # Pre-rework assembly: one fresh stacked copy per dispatched batch.
+        return np.stack([request.vector for request in batch])
+
+    def _energy_total(self) -> float:
+        # Pre-rework accounting: a full ledger merge (breakdown dicts and
+        # all), reached through the chip's ~1860-entry slot scan.
+        total = 0.0
+        for device in self.pool.devices:
+            ledgers = [device.chip.ledger]
+            ledgers.extend(
+                slot.tile.ledger
+                for slot in device.chip._slots.values()
+                if slot.tile is not None
+            )
+            total += merge_ledgers(ledgers).energy_pj
+        return total
+
+
+@pytest.fixture(scope="module")
+def offered_load():
+    """A fixed multi-tenant request mix: 8 matrices x 32 requests each."""
+    rng = np.random.default_rng(37)
+    matrices = [
+        rng.integers(-7, 8, size=MATRIX_SHAPE) for _ in range(NUM_MATRICES)
+    ]
+    vectors = rng.integers(
+        0, 1 << INPUT_BITS,
+        size=(NUM_MATRICES, REQUESTS_PER_MATRIX, MATRIX_SHAPE[0]),
+    )
+    return matrices, vectors
+
+
+def build_server(cls, matrices):
+    server = cls(
+        num_devices=2, max_batch=MAX_BATCH, max_wait_ticks=4,
+        queue_capacity=QUEUED,
+    )
+    for index, matrix in enumerate(matrices):
+        server.register_matrix(
+            f"m{index}", matrix, element_size=ELEMENT_SIZE,
+            input_bits=INPUT_BITS,
+        )
+    return server
+
+
+class ExecTimer:
+    """Shim around ``pool.exec_mvm_batch`` accumulating pure execution time.
+
+    Installed identically on both servers, so subtracting its reading from
+    the drain wall-clock isolates the tick-loop (scheduler) time the gate
+    is about -- the kernel work dispatched is byte-identical on both paths.
+    """
+
+    def __init__(self, pool) -> None:
+        self.seconds = 0.0
+        self._inner = pool.exec_mvm_batch
+        pool.exec_mvm_batch = self._timed
+
+    def _timed(self, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return self._inner(*args, **kwargs)
+        finally:
+            self.seconds += time.perf_counter() - start
+
+
+def drain_once(server, timer, vectors, bulk):
+    """Enqueue the full 256-request mix and run the tick loop until idle.
+
+    Returns ``(total_seconds, scheduler_seconds, results)`` where the
+    scheduler time is the drain minus the execution time seen by ``timer``.
+    """
+    exec_before = timer.seconds
+    start = time.perf_counter()
+    if bulk:
+        futures = [
+            server.submit_batch(f"m{i}", vectors[i], input_bits=INPUT_BITS)
+            for i in range(NUM_MATRICES)
+        ]
+    else:
+        futures = [
+            [server.submit(f"m{i}", v, input_bits=INPUT_BITS) for v in vectors[i]]
+            for i in range(NUM_MATRICES)
+        ]
+    server.run_until_idle()
+    elapsed = time.perf_counter() - start
+    results = [
+        np.stack([future.result().result for future in group])
+        for group in futures
+    ]
+    return elapsed, elapsed - (timer.seconds - exec_before), results
+
+
+def measure(cls, matrices, vectors, bulk):
+    """p50 total and scheduler-loop drain latency over REPEATS runs."""
+    server = build_server(cls, matrices)
+    timer = ExecTimer(server.pool)
+    drain_once(server, timer, vectors, bulk)  # warm-up
+    totals = []
+    scheduler = []
+    results = None
+    for _ in range(REPEATS):
+        elapsed, tick_loop, results = drain_once(server, timer, vectors, bulk)
+        totals.append(elapsed)
+        scheduler.append(tick_loop)
+    return statistics.median(totals), statistics.median(scheduler), results, server
+
+
+def test_serving_latency_gate(offered_load):
+    matrices, vectors = offered_load
+    legacy_total, legacy_p50, legacy_results, legacy_server = measure(
+        PrePrServer, matrices, vectors, bulk=False
+    )
+    fast_total, fast_p50, fast_results, fast_server = measure(
+        PumServer, matrices, vectors, bulk=True
+    )
+    speedup = legacy_p50 / max(fast_p50, 1e-12)
+    end_to_end = legacy_total / max(fast_total, 1e-12)
+
+    # Bit-identical responses: both paths dispatch the same batches in the
+    # same order and the results match the exact integer product.
+    for index in range(NUM_MATRICES):
+        assert np.array_equal(fast_results[index], legacy_results[index])
+        assert np.array_equal(
+            fast_results[index], vectors[index] @ matrices[index]
+        )
+
+    # Bit-identical ledgers: same charges, same float accumulation order.
+    legacy_ledger = legacy_server.pool.total_ledger()
+    fast_ledger = fast_server.pool.total_ledger()
+    assert fast_ledger.cycles == legacy_ledger.cycles
+    assert fast_ledger.energy_pj == legacy_ledger.energy_pj
+    assert fast_ledger.cycle_breakdown == legacy_ledger.cycle_breakdown
+
+    # The fast path's tick loop performs zero full-queue scans, and every
+    # dispatched batch was sliced zero-copy out of a submit_batch source.
+    assert fast_server.queue_scans() == 0
+    assert fast_server.stats.zero_copy_batches == fast_server.stats.batches
+    assert legacy_server.queue_scans() > 0  # the baseline really does scan
+
+    summary = fast_server.stats.summary()
+    print(
+        f"\nserving {QUEUED} queued requests over {NUM_MATRICES} matrices: "
+        f"tick-loop p50 {legacy_p50 * 1e3:.2f} -> {fast_p50 * 1e3:.2f} ms "
+        f"({speedup:.1f}x), end-to-end p50 {legacy_total * 1e3:.2f} -> "
+        f"{fast_total * 1e3:.2f} ms ({end_to_end:.1f}x), "
+        f"mean batch fill {summary['mean_batch_fill']:.1f}"
+    )
+
+    payload = {
+        "benchmark": "serving_latency",
+        "queued_requests": QUEUED,
+        "num_matrices": NUM_MATRICES,
+        "max_batch": MAX_BATCH,
+        "matrix_shape": list(MATRIX_SHAPE),
+        "input_bits": INPUT_BITS,
+        "pre_rework_tick_loop_p50_ms": legacy_p50 * 1e3,
+        "fast_path_tick_loop_p50_ms": fast_p50 * 1e3,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "pre_rework_end_to_end_p50_ms": legacy_total * 1e3,
+        "fast_path_end_to_end_p50_ms": fast_total * 1e3,
+        "end_to_end_speedup": end_to_end,
+        "bit_identical": True,
+        "fast_path_queue_scans": fast_server.queue_scans(),
+        "pre_rework_queue_scans": legacy_server.queue_scans(),
+        "telemetry": summary,
+    }
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    (ARTIFACTS_DIR / "serving_latency.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
+
+    # Append the headline numbers to the repo-root trajectory -- but only
+    # when explicitly recording (CI's benchmarks job), so plain tier-1 runs
+    # do not grow the file.
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        trajectory = []
+        if TRAJECTORY_PATH.exists():
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        trajectory.append(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "queued_requests": QUEUED,
+                "pre_rework_tick_loop_p50_ms": round(legacy_p50 * 1e3, 3),
+                "fast_path_tick_loop_p50_ms": round(fast_p50 * 1e3, 3),
+                "speedup": round(speedup, 1),
+                "end_to_end_speedup": round(end_to_end, 1),
+            }
+        )
+        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"fast path's tick loop is only {speedup:.1f}x faster than the "
+        f"pre-rework scheduler (gate requires >= {REQUIRED_SPEEDUP}x): "
+        f"pre-rework {legacy_p50 * 1e3:.2f} ms, fast {fast_p50 * 1e3:.2f} ms"
+    )
+    assert end_to_end >= REQUIRED_END_TO_END, (
+        f"end-to-end drain is only {end_to_end:.1f}x faster "
+        f"(sanity floor {REQUIRED_END_TO_END}x)"
+    )
+
+
+def test_queue_scans_stay_flat_in_queue_depth(offered_load):
+    """The indexed tick loop's full-queue scans do not grow with depth."""
+    matrices, vectors = offered_load
+    scans_by_depth = {}
+    for depth_fraction in (4, 1):  # 64 and 256 queued requests
+        server = build_server(PumServer, matrices)
+        per_matrix = REQUESTS_PER_MATRIX // depth_fraction
+        for index in range(NUM_MATRICES):
+            server.submit_batch(
+                f"m{index}", vectors[index][:per_matrix], input_bits=INPUT_BITS
+            )
+        server.run_until_idle()
+        scans_by_depth[QUEUED // depth_fraction] = server.queue_scans()
+    assert scans_by_depth[64] == scans_by_depth[256] == 0

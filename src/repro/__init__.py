@@ -29,10 +29,11 @@ from .plan import (
     resolve_backend,
 )
 from .runtime.pool import DevicePool
+from .runtime.queueing import IndexedRequestQueue, RequestQueue
 from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BACKENDS",
@@ -45,9 +46,11 @@ __all__ = [
     "ExecutionBackend",
     "HctConfig",
     "HybridComputeTile",
+    "IndexedRequestQueue",
     "MvmPlan",
     "Planner",
     "PumServer",
+    "RequestQueue",
     "ShardedPlan",
     "ThreadedServerDriver",
     "__version__",

@@ -187,6 +187,11 @@ class AnalogComputeElement:
         #: populated by the owning tile's :class:`~repro.plan.planner.Planner`;
         #: invalidated together with the shard-kernel cache.
         self._plans: Dict[Tuple[int, int], object] = {}
+        #: Reusable per-shape scratch tensors for the vectorized forward
+        #: pass (bit-plane stacks and float input blocks).  Keyed purely by
+        #: shape -- contents are fully overwritten on every use -- so no
+        #: invalidation is needed on release/reprogram.
+        self._scratch: Dict[Tuple, np.ndarray] = {}
         self._next_handle = 0
         self.enabled = True
 
@@ -367,6 +372,41 @@ class AnalogComputeElement:
             kernel = build_shard_kernel(self, handle)
             self._kernels[handle.handle_id] = kernel
         return kernel
+
+    #: Distinct scratch shapes retained before the cache resets (a serving
+    #: deployment sees a handful of batch shapes; a runaway caller churning
+    #: through arbitrary shapes must not leak memory).
+    SCRATCH_SHAPES = 8
+
+    def _scratch_for(self, key: Tuple, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            if len(self._scratch) >= self.SCRATCH_SHAPES:
+                # Evict the oldest shape only, so a caller cycling through
+                # many batch shapes cannot flush the hot steady-state
+                # buffers along with the cold ones.
+                self._scratch.pop(next(iter(self._scratch)))
+            buffer = np.empty(shape, dtype=dtype)
+            self._scratch[key] = buffer
+        return buffer
+
+    def bitplane_scratch(self, input_bits: int, batch: int, rows: int) -> np.ndarray:
+        """Reusable ``(input_bits, batch, rows)`` int64 bit-plane tensor.
+
+        The vectorized forward pass overwrites it completely via
+        :func:`~repro.analog.bitslicing.slice_inputs_tensor`'s ``out=``, so
+        a steady stream of same-shaped batches (the serving steady state)
+        allocates the bit-plane stack exactly once per shape.  The buffer
+        never outlives one ``execute_batch`` call: each HCT is driven by one
+        pool worker at a time, and no result aliases it.
+        """
+        key = ("planes", input_bits, batch, rows)
+        return self._scratch_for(key, (input_bits, batch, rows), np.int64)
+
+    def float_scratch(self, batch: int, rows: int) -> np.ndarray:
+        """Reusable ``(batch, rows)`` float64 input block (exact fast path)."""
+        key = ("float", batch, rows)
+        return self._scratch_for(key, (batch, rows), np.float64)
 
     @property
     def cached_kernels(self) -> int:

@@ -63,7 +63,9 @@ def slice_inputs(vector: np.ndarray, input_bits: int) -> List[np.ndarray]:
     return [((vector >> i) & 1).astype(np.int64) for i in range(input_bits)]
 
 
-def slice_inputs_tensor(vectors: np.ndarray, input_bits: int) -> np.ndarray:
+def slice_inputs_tensor(
+    vectors: np.ndarray, input_bits: int, out: "np.ndarray | None" = None
+) -> np.ndarray:
     """Bit-slice a whole batch of input vectors into one stacked tensor.
 
     ``vectors`` has shape ``(batch, rows)``; the result has shape
@@ -71,6 +73,11 @@ def slice_inputs_tensor(vectors: np.ndarray, input_bits: int) -> np.ndarray:
     element (least significant first).  Plane ``i`` is bit-identical to
     ``slice_inputs(vectors, input_bits)[i]``; the stacked form is what the
     vectorized execution engine feeds to its per-shard tensor contractions.
+
+    ``out``, when given, must be an int64 array of exactly that shape; the
+    planes are written into it and it is returned.  The serving hot path
+    passes a per-ACE scratch tensor here so a steady stream of same-shaped
+    batches performs zero per-batch allocations of the bit-plane tensor.
     """
     vectors = np.asarray(vectors)
     if not np.issubdtype(vectors.dtype, np.integer):
@@ -80,7 +87,17 @@ def slice_inputs_tensor(vectors: np.ndarray, input_bits: int) -> np.ndarray:
     if np.any(vectors >= (1 << input_bits)):
         raise QuantizationError(f"input values exceed {input_bits} bits")
     planes = np.arange(input_bits, dtype=np.int64).reshape(-1, 1, 1)
-    return ((vectors[None, :, :] >> planes) & 1).astype(np.int64)
+    if out is None:
+        return ((vectors[None, :, :] >> planes) & 1).astype(np.int64)
+    expected = (input_bits,) + vectors.shape
+    if out.shape != expected or out.dtype != np.int64:
+        raise QuantizationError(
+            f"slice_inputs_tensor out= must be int64 of shape {expected} "
+            f"(got {out.dtype} {out.shape})"
+        )
+    np.right_shift(vectors[None, :, :], planes, out=out)
+    np.bitwise_and(out, 1, out=out)
+    return out
 
 
 def recombine(partials: Sequence[np.ndarray], shifts: Sequence[int]) -> np.ndarray:

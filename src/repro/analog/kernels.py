@@ -422,9 +422,15 @@ def ace_forward_vectorized(
     )
     if exact:
         validate_input_range(vectors, input_bits)
-        vectors_float = vectors.astype(float)
+        # int64 -> float64 is exact for every representable input; writing
+        # into the ACE's per-shape scratch block instead of astype() keeps
+        # the steady-state serving path allocation-free.
+        vectors_float = ace.float_scratch(batch, rows)
+        np.copyto(vectors_float, vectors)
     else:
-        bit_planes = slice_inputs_tensor(vectors, input_bits)
+        bit_planes = slice_inputs_tensor(
+            vectors, input_bits, out=ace.bitplane_scratch(input_bits, batch, rows)
+        )
 
     start = ace.ledger.snapshot()
     forward = AceForward(

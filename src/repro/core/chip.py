@@ -47,6 +47,11 @@ class DarthPumChip:
         self.parasitics = parasitics
         self.ledger = CostLedger()
         self._slots: Dict[int, _TileSlot] = {i: _TileSlot() for i in range(self.config.num_hcts)}
+        #: Materialised tiles keyed by HCT index.  The chip has ~1860 slots
+        #: but functional runs touch a handful; accounting sweeps iterate
+        #: this registry instead of scanning every slot (the serving
+        #: scheduler reads the energy total twice per dispatched batch).
+        self._materialized_tiles: Dict[int, HybridComputeTile] = {}
         self.front_ends: List[FrontEnd] = [
             FrontEnd(front_end_id=i, hcts_served=self.config.hcts_per_front_end)
             for i in range(self.config.num_front_ends)
@@ -74,7 +79,15 @@ class DarthPumChip:
                 parasitics=self.parasitics,
                 tile_id=index,
             )
+            self._materialized_tiles[index] = slot.tile
         return slot.tile
+
+    def _tiles_in_index_order(self) -> List[HybridComputeTile]:
+        """Materialised tiles in HCT-index order (the slot-scan order)."""
+        return [
+            self._materialized_tiles[index]
+            for index in sorted(self._materialized_tiles)
+        ]
 
     def front_end_for(self, hct_index: int) -> FrontEnd:
         """The front-end unit serving ``hct_index``."""
@@ -109,7 +122,7 @@ class DarthPumChip:
     @property
     def materialized_hcts(self) -> int:
         """Number of HCTs that have actually been instantiated."""
-        return sum(1 for slot in self._slots.values() if slot.tile is not None)
+        return len(self._materialized_tiles)
 
     # ------------------------------------------------------------------ #
     # Chip-level accounting                                                #
@@ -117,10 +130,22 @@ class DarthPumChip:
     def total_ledger(self) -> CostLedger:
         """Merged ledger across all materialised tiles plus the chip ledger."""
         ledgers = [self.ledger]
-        ledgers.extend(
-            slot.tile.ledger for slot in self._slots.values() if slot.tile is not None
-        )
+        ledgers.extend(tile.ledger for tile in self._tiles_in_index_order())
         return merge_ledgers(ledgers)
+
+    def total_energy_pj(self) -> float:
+        """Total energy across the chip, without materialising a ledger.
+
+        Accumulates in the exact order :meth:`total_ledger` merges (chip
+        ledger first, then tiles in index order), so the float result equals
+        ``total_ledger().energy_pj`` bit for bit -- but skips the slot scan
+        and the breakdown dict merging, which makes it cheap enough for the
+        serving scheduler's per-batch energy deltas.
+        """
+        total = 0.0 + self.ledger.energy_pj
+        for tile in self._tiles_in_index_order():
+            total += tile.ledger.energy_pj
+        return total
 
     def planner_builds(self) -> int:
         """Execution plans compiled across all materialised tiles.
@@ -128,11 +153,7 @@ class DarthPumChip:
         Serving tests assert this stays flat on the request hot path: all
         planning happens at registration time.
         """
-        return sum(
-            slot.tile.planner.builds
-            for slot in self._slots.values()
-            if slot.tile is not None
-        )
+        return sum(tile.planner.builds for tile in self._materialized_tiles.values())
 
     def front_end_energy_pj(self, cycles: float) -> float:
         """Energy of the active front ends over ``cycles`` cycles."""

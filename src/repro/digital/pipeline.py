@@ -133,8 +133,12 @@ class BitPipeline:
         columns[:, : values.shape[0]] = (
             (unsigned[None, :] >> np.arange(self.depth, dtype=np.int64)[:, None]) & 1
         ).astype(bool)
+        # Direct bit-plane stores: the cost-free state update runs once per
+        # dispatched serving batch, so it skips write_column's per-call
+        # validation (vr is already checked, columns is the right shape by
+        # construction).
         for bit in range(self.depth):
-            self.arrays[bit].write_column(vr, columns[bit])
+            self.arrays[bit].bits[:, vr] = columns[bit]
 
     def read_vr(self, vr: int, signed: bool = False) -> np.ndarray:
         """Read VR ``vr`` back as integers (two's complement if ``signed``)."""

@@ -25,6 +25,7 @@ __all__ = [
     "merge_ledgers",
     "geometric_mean",
     "percentile",
+    "percentile_sorted",
 ]
 
 #: Cycles per second of the modelled DARTH-PUM clock (Section 6: 1 GHz).
@@ -148,7 +149,19 @@ def percentile(values: Iterable[float], q: float) -> float:
     >>> percentile([10], 99)
     10.0
     """
-    ordered = sorted(float(v) for v in values)
+    return percentile_sorted(sorted(float(v) for v in values), q)
+
+
+def percentile_sorted(ordered: "list[float]", q: float) -> float:
+    """:func:`percentile` over values already sorted ascending.
+
+    The sort is the whole cost of a percentile query, so callers that keep
+    a sorted window (e.g. the serving telemetry, which re-sorts only when a
+    batch completes) query through this entry point and skip it.
+
+    >>> percentile_sorted([1, 2, 3, 4], 50)
+    2.5
+    """
     if not ordered:
         raise ValueError("percentile() requires at least one value")
     if not 0.0 <= q <= 100.0:
@@ -157,7 +170,7 @@ def percentile(values: Iterable[float], q: float) -> float:
     low = int(position)
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    return float(ordered[low]) * (1.0 - fraction) + float(ordered[high]) * fraction
 
 
 def geometric_mean(values: Iterable[float]) -> float:

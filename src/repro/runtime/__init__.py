@@ -19,6 +19,12 @@ from .pool import (
     Shard,
     make_placement_policy,
 )
+from .queueing import (
+    FlatRequestQueue,
+    IndexedRequestQueue,
+    RequestQueue,
+    make_request_queue,
+)
 from .server import (
     BatchingConfig,
     PumServer,
@@ -37,6 +43,8 @@ __all__ = [
     "CnnSession",
     "DarthPumDevice",
     "DevicePool",
+    "FlatRequestQueue",
+    "IndexedRequestQueue",
     "LeastLoadedPolicy",
     "LlmSession",
     "MatrixAllocation",
@@ -45,6 +53,7 @@ __all__ = [
     "PooledAllocation",
     "PumServer",
     "Request",
+    "RequestQueue",
     "Response",
     "RoundRobinPolicy",
     "ServerFuture",
@@ -53,6 +62,7 @@ __all__ = [
     "ThreadedServerDriver",
     "TilePlan",
     "make_placement_policy",
+    "make_request_queue",
     "plan_matrix",
     "precision_to_bits_per_cell",
     "serve_aes_mixcolumns",

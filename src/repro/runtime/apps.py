@@ -190,21 +190,25 @@ def _serve_all(
     vectors: np.ndarray,
     input_bits: int,
 ) -> np.ndarray:
-    """Submit one request per vector and gather the results, in order.
+    """Submit the vectors through the bulk-ingress path and gather results.
 
-    Submission happens in waves no larger than the server's queue capacity
-    so an arbitrarily large workload never trips admission control against
-    itself; a request that still ends rejected/shed/failed (competing
-    traffic, deadline pressure, a chip fault) raises a descriptive error
-    instead of surfacing as ``None`` deep inside a stack operation.
+    Each wave is one :meth:`~repro.runtime.server.PumServer.submit_batch`
+    call: the whole block is validated in a single NumPy pass, admitted as
+    requests whose vectors are row views of the block, and -- because the
+    scheduler dispatches them in arrival order -- assembled into zero-copy
+    batch slices on the way to the pool.  Waves are no larger than the
+    server's queue capacity so an arbitrarily large workload never trips
+    admission control against itself; a request that still ends
+    rejected/shed/failed (competing traffic, deadline pressure, a chip
+    fault) raises a descriptive error instead of surfacing as ``None`` deep
+    inside a stack operation.
     """
     results = []
     wave = server.batching.queue_capacity
     for start in range(0, len(vectors), wave):
-        futures = [
-            server.submit(name, row, input_bits=input_bits)
-            for row in vectors[start: start + wave]
-        ]
+        futures = server.submit_batch(
+            name, vectors[start: start + wave], input_bits=input_bits
+        )
         server.run_until_idle()
         for future in futures:
             response = future.result()

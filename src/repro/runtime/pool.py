@@ -572,8 +572,18 @@ class DevicePool:
             raise QuantizationError(
                 f"input batch of shape {vectors.shape} does not match matrix rows ({rows})"
             )
-        result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
         plan = self.sharded_plan(allocation)
+        if plan.num_shards == 1:
+            # Single-shard fast path (the common serving case): the device
+            # result *is* the pool result -- no zero tensor, no partial-sum
+            # add, and ``vectors`` (often an arena view handed down by the
+            # server) flows through unsliced.
+            task = plan.tasks[0]
+            return self.devices[task.device_index].exec_mvm_batch(
+                task.device_allocation, vectors, input_bits=input_bits,
+                backend=backend,
+            )
+        result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
 
         def run(device_index: int, task: ShardTask):
             partial = self.devices[device_index].exec_mvm_batch(
@@ -670,6 +680,19 @@ class DevicePool:
         ledgers, so including them would double-count every MVM.
         """
         return merge_ledgers([device.chip.total_ledger() for device in self.devices])
+
+    def total_energy_pj(self) -> float:
+        """Pool-wide energy total, bit-identical to ``total_ledger().energy_pj``.
+
+        Sums the per-chip totals in the same order ``total_ledger`` merges
+        them, without building any breakdown dicts -- the serving scheduler
+        reads this before and after every dispatched batch, so it must cost
+        a handful of float additions, not a ledger merge.
+        """
+        total = 0.0
+        for device in self.devices:
+            total += device.chip.total_energy_pj()
+        return total
 
     def expected_mvm(self, allocation: PooledAllocation, vectors: np.ndarray) -> np.ndarray:
         """Reference result reassembled from the shards' stored matrices."""

@@ -21,7 +21,7 @@ from repro import ChipConfig, DevicePool, HctConfig, PumServer
 from repro.analog.bitslicing import slice_inputs, slice_inputs_tensor
 from repro.analog.compensation import ParasiticCompensation
 from repro.core.hct import HybridComputeTile
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QuantizationError
 from repro.plan import BACKENDS, DEFAULT_BACKEND, ReferenceExecutor, resolve_backend
 from repro.reram import NoiseConfig, ParasiticModel
 from repro.runtime.apps import (
@@ -389,3 +389,36 @@ class TestBatchedHelpers:
             assert np.array_equal(
                 batched[index], compensation.recover(raw[index], inputs[index])
             )
+
+
+class TestBitPlaneScratch:
+    def test_slice_inputs_tensor_out_matches_allocation(self):
+        rng = np.random.default_rng(21)
+        vectors = rng.integers(0, 32, size=(5, 11))
+        fresh = slice_inputs_tensor(vectors, 5)
+        scratch = np.empty((5, 5, 11), dtype=np.int64)
+        written = slice_inputs_tensor(vectors, 5, out=scratch)
+        assert written is scratch
+        assert np.array_equal(written, fresh)
+        with pytest.raises(QuantizationError, match="out="):
+            slice_inputs_tensor(vectors, 5, out=np.empty((4, 5, 11), dtype=np.int64))
+
+    def test_ace_scratch_is_reused_per_shape(self):
+        tile = HybridComputeTile(HctConfig.small())
+        planes = tile.ace.bitplane_scratch(3, 4, 8)
+        assert tile.ace.bitplane_scratch(3, 4, 8) is planes
+        assert tile.ace.bitplane_scratch(3, 5, 8) is not planes
+        floats = tile.ace.float_scratch(4, 8)
+        assert tile.ace.float_scratch(4, 8) is floats
+
+    def test_steady_state_batches_reuse_scratch_and_stay_correct(self):
+        tile = HybridComputeTile(HctConfig.small())
+        matrix = np.arange(32, dtype=np.int64).reshape(8, 4) % 7
+        handle = tile.set_matrix(matrix, value_bits=4)
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            vectors = rng.integers(0, 8, size=(4, 8))
+            out = tile.execute_mvm_batch(
+                handle, vectors, input_bits=3, backend="vectorized"
+            )
+            assert np.array_equal(out.values, vectors @ matrix)

@@ -101,3 +101,26 @@ def test_ledger_totals_match_breakdown_sum(charges):
         ledger.charge(f"cat{index % 3}", cycles=cycles, energy_pj=energy)
     assert ledger.cycles == pytest.approx(sum(ledger.cycle_breakdown.values()))
     assert ledger.energy_pj == pytest.approx(sum(ledger.energy_breakdown.values()))
+
+
+class TestPercentileSorted:
+    def test_matches_percentile_on_sorted_input(self):
+        import random
+
+        from repro.metrics import percentile, percentile_sorted
+
+        rng = random.Random(7)
+        values = [rng.uniform(-50, 50) for _ in range(257)]
+        ordered = sorted(values)
+        for q in (0, 12.5, 50, 95, 99, 100):
+            assert percentile_sorted(ordered, q) == percentile(values, q)
+
+    def test_validation_matches_percentile(self):
+        import pytest
+
+        from repro.metrics import percentile_sorted
+
+        with pytest.raises(ValueError):
+            percentile_sorted([], 50)
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], 101)

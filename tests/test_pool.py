@@ -256,3 +256,16 @@ class TestClose:
                 pool.exec_mvm_batch(allocation, vectors, input_bits=3)
                 raise RuntimeError("sentinel")
         assert pool._executor is None
+
+
+class TestEnergyTotals:
+    def test_total_energy_pj_is_bit_identical_to_the_ledger_merge(self):
+        rng = np.random.default_rng(5)
+        pool = DevicePool(num_devices=2)
+        allocation = pool.set_matrix(
+            rng.integers(-20, 20, size=(24, 8)), element_size=8
+        )
+        assert pool.total_energy_pj() == pool.total_ledger().energy_pj
+        vectors = rng.integers(0, 16, size=(6, 24))
+        pool.exec_mvm_batch(allocation, vectors, input_bits=4)
+        assert pool.total_energy_pj() == pool.total_ledger().energy_pj

@@ -7,12 +7,14 @@ import pytest
 
 from repro import PumServer, ThreadedServerDriver
 from repro.errors import AdmissionError, QuantizationError, SchedulerError
+from repro.metrics import percentile
 from repro.runtime import (
     serve_aes_mixcolumns,
     serve_cnn_conv,
     serve_llm_projection,
 )
-from repro.runtime.server import BatchingConfig
+from repro.runtime.queueing import make_request_queue
+from repro.runtime.server import TELEMETRY_WINDOW, BatchingConfig, ServingStats
 from repro.workloads.aes.gf import gf_mul
 from repro.workloads.aes.reference import MIX_COLUMNS_MATRIX
 from repro.workloads.cnn.layers import Conv2d
@@ -286,3 +288,249 @@ class TestServingEntryPoints:
         device, reference = serve_llm_projection(server, weight, activations)
         assert device.shape == reference.shape == (11, 8)
         assert server.stats.rejected == 0
+
+
+class TestSubmitBatch:
+    def test_empty_batch_returns_no_futures(self):
+        server = make_server()
+        futures = server.submit_batch("eye", np.empty((0, 8), dtype=np.int64),
+                                      input_bits=3)
+        assert futures == []
+        assert server.stats.submitted == 0
+        assert server.pending == 0
+
+    def test_results_match_per_vector_submission(self, rng):
+        matrix = rng.integers(-50, 50, size=(16, 12))
+        vectors = rng.integers(0, 16, size=(10, 16))
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=1)
+        server.register_matrix("m", matrix, element_size=8, input_bits=4)
+        futures = server.submit_batch("m", vectors, input_bits=4)
+        server.run_until_idle()
+        served = np.stack([f.result().result for f in futures])
+        assert np.array_equal(served, vectors @ matrix)
+        # Full batches of consecutive wave rows dispatch as zero-copy slices.
+        assert server.stats.zero_copy_batches == server.stats.batches
+
+    def test_bad_shape_is_rejected_synchronously(self):
+        server = make_server()
+        with pytest.raises(QuantizationError, match="submit_batch expects"):
+            server.submit_batch("eye", np.ones((2, 9), dtype=np.int64))
+        with pytest.raises(QuantizationError, match="submit_batch expects"):
+            server.submit_batch("eye", np.ones(8, dtype=np.int64))
+
+    def test_out_of_range_batch_rejected_in_one_pass(self):
+        # "Mixed precision": one vector needs more bits than input_bits, so
+        # the whole array is rejected before any request is created.
+        server = make_server()
+        vectors = np.ones((4, 8), dtype=np.int64)
+        vectors[2, 5] = 8  # needs 4 bits
+        with pytest.raises(QuantizationError, match="values must be"):
+            server.submit_batch("eye", vectors, input_bits=3)
+        with pytest.raises(QuantizationError, match="values must be"):
+            server.submit_batch("eye", -vectors, input_bits=3)
+        assert server.stats.submitted == 0
+        assert server.pending == 0
+
+    def test_partial_admission_rejects_overflow_rows(self):
+        server = make_server(queue_capacity=4, max_batch=8, max_wait_ticks=1,
+                             admission="reject")
+        vectors = np.ones((6, 8), dtype=np.int64)
+        futures = server.submit_batch("eye", vectors, input_bits=3)
+        assert len(futures) == 6
+        # The first four rows were admitted; the overflow resolved instantly.
+        assert server.pending == 4
+        assert [f.done() for f in futures] == [False] * 4 + [True] * 2
+        assert all(f.result().status == "rejected" for f in futures[4:])
+        assert server.stats.rejected == 2
+        server.run_until_idle()
+        assert all(f.result().ok for f in futures[:4])
+
+    def test_partial_admission_sheds_lower_priority_victims(self):
+        server = make_server(queue_capacity=2, max_batch=8, max_wait_ticks=10,
+                             admission="shed_lowest")
+        low_a, low_b = submit_n(server, 2, priority=0)
+        futures = server.submit_batch("eye", np.ones((3, 8), dtype=np.int64),
+                                      input_bits=3, priority=5)
+        # Both low-priority requests were evicted for the first two rows;
+        # the third row found no victim it outranks and was rejected.
+        assert low_a.result().status == "shed"
+        assert low_b.result().status == "shed"
+        assert futures[2].result().status == "rejected"
+        assert server.pending == 2
+        server.run_until_idle()
+        assert all(f.result().ok for f in futures[:2])
+
+    def test_deadline_expired_bulk_requests_all_resolve(self):
+        server = make_server(max_batch=32, max_wait_ticks=10)
+        futures = server.submit_batch("eye", np.ones((5, 8), dtype=np.int64),
+                                      input_bits=3, deadline=1)
+        assert server.tick() == []  # now=1: deadline tick itself still valid
+        responses = server.tick()   # now=2: all five shed in id order
+        assert [r.status for r in responses] == ["shed"] * 5
+        assert [r.request_id for r in responses] == sorted(
+            r.request_id for r in responses
+        )
+        assert all(f.done() for f in futures)
+        assert server.pending == 0
+        assert server.stats.shed == 5
+
+    def test_failed_bulk_batch_resolves_every_future(self):
+        server = make_server(max_batch=4, max_wait_ticks=1)
+        def explode(*args, **kwargs):
+            raise QuantizationError("chip fault")
+        server.pool.exec_mvm_batch = explode
+        futures = server.submit_batch("eye", np.ones((4, 8), dtype=np.int64),
+                                      input_bits=3)
+        responses = server.tick()
+        assert [r.status for r in responses] == ["failed"] * 4
+        assert all(f.done() for f in futures)
+        assert server.pending == 0
+        assert server.tick() == []  # the loop is still alive
+
+    def test_mixed_ingress_batches_gather_through_the_arena(self):
+        server = make_server(max_batch=4, max_wait_ticks=1)
+        bulk = server.submit_batch("eye", np.full((2, 8), 2, dtype=np.int64),
+                                   input_bits=3)
+        single = server.submit("eye", np.full(8, 3, dtype=np.int64), input_bits=3)
+        server.run_until_idle()
+        assert all(f.result().ok for f in bulk + [single])
+        assert np.array_equal(single.result().result, np.full(8, 3, dtype=np.int64))
+        # A batch mixing bulk rows and a single submit cannot be a slice of
+        # one source array; it is gathered into the reusable arena instead.
+        assert server.stats.gathered_batches == 1
+        assert server.stats.zero_copy_batches == 0
+
+    def test_bulk_vectors_are_views_of_one_source_array(self):
+        server = make_server(max_batch=8, max_wait_ticks=10)
+        vectors = np.full((3, 8), 1, dtype=np.int64)
+        server.submit_batch("eye", vectors, input_bits=3)
+        queued = [server.request_queue.take(("eye", 3), 8)][0]
+        sources = {id(request.source) for request in queued}
+        assert len(sources) == 1
+        assert all(
+            np.shares_memory(request.vector, request.source)
+            for request in queued
+        )
+
+
+class TestDispatchOrder:
+    """Regression pins for the queue rework (oldest-group-first dispatch)."""
+
+    def expected_matrix(self, server, name):
+        allocation = server.allocation_for(name)
+        return server.pool.expected_mvm(allocation, np.eye(8, dtype=np.int64)).T
+
+    def run_mixed_traffic(self, queue):
+        server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=3,
+                           queue_capacity=32, queue=queue)
+        server.register_matrix("a", np.eye(8, dtype=np.int64))
+        server.register_matrix("b", 2 * np.eye(8, dtype=np.int64), element_size=4)
+        responses = []
+        # Tick 0: two b-requests age toward the wait trigger; tick 2: a full
+        # a-batch (plus mixed priorities) and a doomed deadline request.
+        server.submit_batch("b", np.full((2, 8), 1, dtype=np.int64), input_bits=3)
+        responses.extend(server.tick())
+        responses.extend(server.tick())
+        for priority in (0, 5, 0, 2):
+            server.submit("a", np.full(8, 2, dtype=np.int64), input_bits=3,
+                          priority=priority)
+        server.submit("b", np.full(8, 3, dtype=np.int64), input_bits=3,
+                      deadline=2)
+        responses.extend(server.run_until_idle())
+        return server, responses
+
+    def test_oldest_group_dispatches_first(self):
+        server, responses = self.run_mixed_traffic("indexed")
+        # At tick 3 both groups are due (b aged past max_wait, a full): the
+        # older b-group dispatches first, and the expired b request is shed
+        # ahead of any dispatch that tick.
+        completed = [r.name for r in responses if r.status == "completed"]
+        assert completed == ["b", "b", "a", "a", "a", "a"]
+        assert [r.status for r in responses].count("shed") == 1
+        assert responses[0].status == "shed"
+
+    def test_priority_orders_rows_within_a_batch(self):
+        server = make_server(max_batch=4, max_wait_ticks=10)
+        ids = {}
+        for priority in (0, 5, 0, 2):
+            future = server.submit("eye", np.full(8, 1, dtype=np.int64),
+                                   input_bits=3, priority=priority)
+            ids[priority] = ids.get(priority, []) + [future.request_id]
+        responses = server.tick()
+        # Batch rows are ordered (-priority, arrival, id).
+        assert [r.request_id for r in responses] == (
+            ids[5] + ids[2] + ids[0]
+        )
+
+    def test_flat_and_indexed_queues_dispatch_identically(self):
+        indexed_server, indexed = self.run_mixed_traffic("indexed")
+        flat_server, flat = self.run_mixed_traffic("flat")
+        assert [r.request_id for r in indexed] == [r.request_id for r in flat]
+        assert [r.status for r in indexed] == [r.status for r in flat]
+        assert [r.batch_size for r in indexed] == [r.batch_size for r in flat]
+        for fast, slow in zip(indexed, flat):
+            if fast.result is None:
+                assert slow.result is None
+            else:
+                assert np.array_equal(fast.result, slow.result)
+        fast_ledger = indexed_server.pool.total_ledger()
+        slow_ledger = flat_server.pool.total_ledger()
+        assert fast_ledger.cycles == slow_ledger.cycles
+        assert fast_ledger.energy_pj == slow_ledger.energy_pj
+
+
+class TestQueueScans:
+    def test_indexed_tick_loop_never_scans_the_queue(self):
+        for depth in (16, 64):
+            server = make_server(max_batch=4, max_wait_ticks=2,
+                                 queue_capacity=depth)
+            server.submit_batch(
+                "eye", np.ones((depth, 8), dtype=np.int64), input_bits=3
+            )
+            server.run_until_idle()
+            assert server.queue_scans() == 0
+
+    def test_flat_queue_scans_grow_with_depth(self):
+        scans = {}
+        for depth in (16, 64):
+            server = make_server(max_batch=4, max_wait_ticks=2,
+                                 queue_capacity=depth, queue="flat")
+            submit_n(server, depth)
+            server.run_until_idle()
+            scans[depth] = server.queue_scans()
+        assert scans[64] > scans[16] > 0
+
+    def test_unknown_queue_name_rejected(self):
+        with pytest.raises(SchedulerError, match="unknown request queue"):
+            make_request_queue("priority_heap")
+        with pytest.raises(SchedulerError):
+            PumServer(num_devices=1, queue="linked_list")
+
+
+class TestLatencyPercentileCache:
+    def make_stats_with(self, latencies_batches):
+        stats = ServingStats()
+        for batch in latencies_batches:
+            stats.record_batch(len(batch), list(batch), energy_pj=1.0)
+        return stats
+
+    def test_matches_fresh_sort_at_window_boundaries(self):
+        # Overflow the sliding window so old entries fall out mid-stream.
+        stats = self.make_stats_with(
+            [range(i, i + 7) for i in range(0, 2 * TELEMETRY_WINDOW, 7)]
+        )
+        assert len(stats.latencies) == TELEMETRY_WINDOW
+        for q in (0, 50, 95, 99, 100):
+            assert stats.latency_percentile(q) == percentile(
+                list(stats.latencies), q
+            )
+
+    def test_cache_refreshes_after_each_recorded_batch(self):
+        stats = self.make_stats_with([[10, 20, 30]])
+        assert stats.latency_percentile(50) == 20.0
+        stats.record_batch(2, [100, 200], energy_pj=1.0)
+        assert stats.latency_percentile(50) == 30.0
+        assert stats.latency_percentile(100) == 200.0
+
+    def test_empty_window_is_zero(self):
+        assert ServingStats().latency_percentile(99) == 0.0
