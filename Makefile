@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench plan-dump profile profile-server lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -48,6 +48,20 @@ serve-latency-bench:
 # the headline numbers to BENCH_kernels.json.
 kernel-bench:
 	$(PY) -m pytest benchmarks/test_kernel_speedup.py -q
+
+# The resilience gates: fault-injection chaos suite (kill a device under
+# open-loop load; zero lost futures, bit-identical responses) plus the
+# 200+-schedule conservation harness.  Sweep schedules with
+# REPRO_TEST_SEED=<n> make chaos (as the CI chaos job does).
+chaos:
+	$(PY) -m pytest tests/test_chaos.py tests/test_invariants.py -q
+
+# Degraded-mode recovery benchmark (drain wall-clock with a mid-load kill
+# vs fault-free; back-to-primary after heal).  Writes
+# benchmarks/artifacts/recovery.json; set REPRO_BENCH_RECORD=1 (as the CI
+# benchmarks job does) to also append to BENCH_recovery.json.
+recovery-bench:
+	$(PY) -m pytest benchmarks/test_recovery.py -q
 
 # Pretty-print a sample compiled execution plan (MvmPlan + ShardedPlan).
 plan-dump:

@@ -1,0 +1,202 @@
+"""Degraded-mode recovery benchmark: serving through a device kill.
+
+Drives the same open-loop request mix through two replicated (R=2) servers:
+a fault-free control and a chaos run that kills one device mid-load and
+heals it a few waves later.  The benchmark records what resilience costs
+and how fast the pool returns to primary dispatch:
+
+* **degraded overhead** -- p50 drain wall-clock of the chaos run over the
+  control run.  Failover is an in-tick retry (no timeouts, no epochs), so
+  the overhead is the cost of re-dispatching the dead device's shards on
+  their replicas plus the health bookkeeping;
+* **failover window** -- replica hits/retries and degraded batches
+  accumulated between kill and heal;
+* **recovery** -- after ``heal()`` the pool must dispatch primaries again
+  immediately: zero replica hits accrue after the heal wave.
+
+Responses must stay bit-identical to the control run and every future must
+resolve as completed -- the same guarantee the tier-1 chaos gate pins in
+ticks; this benchmark adds the wall-clock numbers.
+
+Results go to ``benchmarks/artifacts/recovery.json`` on every run; with
+``REPRO_BENCH_RECORD=1`` (the CI benchmarks job) the headline numbers are
+appended to the ``BENCH_recovery.json`` trajectory at the repo root.  The
+correctness assertions are exact; the single timing gate is a generous
+sanity bound so the benchmark never flakes on a noisy runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PumServer
+from repro.runtime import FaultInjector
+
+NUM_DEVICES = 3
+REPLICATION = 2
+MATRIX_SHAPE = (16, 16)
+INPUT_BITS = 4
+ELEMENT_SIZE = 4
+WAVES = 16
+WAVE_SIZE = 16
+KILL_WAVE = 5
+HEAL_WAVE = 11
+KILL_DEVICE = 0
+MAX_BATCH = 8
+REPEATS = 5
+#: Generous sanity ceiling on the degraded-run overhead.  Failover re-runs
+#: at most the dead device's share of each batch, so the true ratio sits
+#: near 1; the gate only has to catch pathological regressions (e.g. an
+#: accidental retry storm), not measure precisely on shared CI hardware.
+MAX_DEGRADED_OVERHEAD = 25.0
+
+ARTIFACTS_DIR = Path(__file__).parent / "artifacts"
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_recovery.json"
+
+
+def build_server() -> PumServer:
+    server = PumServer(
+        num_devices=NUM_DEVICES, replication=REPLICATION,
+        max_batch=MAX_BATCH, max_wait_ticks=1,
+        queue_capacity=WAVES * WAVE_SIZE,
+    )
+    rng = np.random.default_rng(37)
+    server.register_matrix(
+        "m", rng.integers(-7, 8, size=MATRIX_SHAPE),
+        element_size=ELEMENT_SIZE, input_bits=INPUT_BITS,
+    )
+    return server
+
+
+def offered_load() -> np.ndarray:
+    rng = np.random.default_rng(38)
+    return rng.integers(
+        0, 1 << INPUT_BITS, size=(WAVES, WAVE_SIZE, MATRIX_SHAPE[0])
+    )
+
+
+def drain(server, vectors, injector=None):
+    """Run the full open-loop load; returns (seconds, results, heal_stats).
+
+    ``heal_stats`` snapshots the degraded counters at the heal wave, so the
+    caller can assert nothing degraded accrues *after* recovery.
+    """
+    futures = []
+    heal_stats = None
+    start = time.perf_counter()
+    for wave in range(WAVES):
+        if injector is not None and wave == KILL_WAVE:
+            injector.kill(KILL_DEVICE)
+        if injector is not None and wave == HEAL_WAVE:
+            injector.heal(KILL_DEVICE)
+            heal_stats = (
+                server.stats.replica_hits, server.stats.replica_retries
+            )
+        futures.extend(
+            server.submit_batch("m", vectors[wave], input_bits=INPUT_BITS)
+        )
+        server.tick()
+    server.run_until_idle()
+    elapsed = time.perf_counter() - start
+    responses = [future.result(timeout=0) for future in futures]
+    assert all(r.status == "completed" for r in responses)
+    results = np.stack([r.result for r in responses])
+    return elapsed, results, heal_stats
+
+
+def measure(faulted: bool):
+    vectors = offered_load()
+    times, results, final_server, heal_stats = [], None, None, None
+    for _ in range(1 + REPEATS):  # first run is warm-up
+        server = build_server()
+        injector = FaultInjector().attach(server.pool) if faulted else None
+        elapsed, results, heal_stats = drain(server, vectors, injector)
+        times.append(elapsed)
+        final_server = server
+    return statistics.median(times[1:]), results, final_server, heal_stats
+
+
+def test_recovery_benchmark():
+    clean_p50, clean_results, clean_server, _ = measure(faulted=False)
+    chaos_p50, chaos_results, chaos_server, heal_stats = measure(faulted=True)
+    overhead = chaos_p50 / max(clean_p50, 1e-12)
+    stats = chaos_server.stats
+
+    # Exact guarantees first: nothing lost, nothing different.
+    assert np.array_equal(chaos_results, clean_results)
+    assert stats.completed == WAVES * WAVE_SIZE
+    assert stats.failed == 0
+
+    # The kill really was exercised ...
+    assert stats.device_failures >= 1
+    assert stats.replica_retries >= 1
+    assert stats.degraded_batches >= 1
+    assert clean_server.stats.degraded_batches == 0
+
+    # ... and healing really recovers: no replica traffic after the heal.
+    hits_at_heal, retries_at_heal = heal_stats
+    assert stats.replica_hits == hits_at_heal, (
+        "replicas still serving primary traffic after heal()"
+    )
+    assert stats.replica_retries == retries_at_heal
+
+    print(
+        f"\nrecovery: drain p50 {clean_p50 * 1e3:.2f} ms fault-free -> "
+        f"{chaos_p50 * 1e3:.2f} ms with a mid-load kill "
+        f"({overhead:.2f}x); failover window: {stats.replica_hits} replica "
+        f"hits, {stats.replica_retries} retries, "
+        f"{stats.degraded_batches}/{stats.batches} degraded batches"
+    )
+
+    payload = {
+        "benchmark": "recovery",
+        "num_devices": NUM_DEVICES,
+        "replication": REPLICATION,
+        "waves": WAVES,
+        "wave_size": WAVE_SIZE,
+        "kill_wave": KILL_WAVE,
+        "heal_wave": HEAL_WAVE,
+        "fault_free_drain_p50_ms": clean_p50 * 1e3,
+        "degraded_drain_p50_ms": chaos_p50 * 1e3,
+        "degraded_overhead": overhead,
+        "max_degraded_overhead": MAX_DEGRADED_OVERHEAD,
+        "replica_hits": stats.replica_hits,
+        "replica_retries": stats.replica_retries,
+        "device_failures": stats.device_failures,
+        "degraded_batches": stats.degraded_batches,
+        "batches": stats.batches,
+        "replica_hits_after_heal": stats.replica_hits - hits_at_heal,
+        "bit_identical": True,
+        "lost_requests": 0,
+    }
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    (ARTIFACTS_DIR / "recovery.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
+
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        trajectory = []
+        if TRAJECTORY_PATH.exists():
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        trajectory.append(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "fault_free_drain_p50_ms": round(clean_p50 * 1e3, 3),
+                "degraded_drain_p50_ms": round(chaos_p50 * 1e3, 3),
+                "degraded_overhead": round(overhead, 2),
+                "degraded_batches": stats.degraded_batches,
+                "replica_hits_after_heal": stats.replica_hits - hits_at_heal,
+            }
+        )
+        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    assert overhead <= MAX_DEGRADED_OVERHEAD, (
+        f"degraded drain is {overhead:.1f}x the fault-free drain "
+        f"(sanity ceiling {MAX_DEGRADED_OVERHEAD}x suggests a retry storm)"
+    )

@@ -28,12 +28,13 @@ from .plan import (
     ShardedPlan,
     resolve_backend,
 )
+from .runtime.faults import FaultInjector, FaultSchedule
 from .runtime.pool import DevicePool
 from .runtime.queueing import IndexedRequestQueue, RequestQueue
 from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BACKENDS",
@@ -44,6 +45,8 @@ __all__ = [
     "DarthPumDevice",
     "DevicePool",
     "ExecutionBackend",
+    "FaultInjector",
+    "FaultSchedule",
     "HctConfig",
     "HybridComputeTile",
     "IndexedRequestQueue",

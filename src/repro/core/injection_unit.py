@@ -20,6 +20,7 @@ import numpy as np
 from ..analog.bitslicing import ShiftAddPlan
 from ..digital.microops import WordOpCost, WordOpKind
 from ..digital.pipeline import BitPipeline
+from ..errors import RegisterLiveError
 
 __all__ = ["InjectionTableEntry", "InstructionInjectionUnit"]
 
@@ -68,6 +69,17 @@ class InstructionInjectionUnit:
             )
         self.counter = 0
 
+    @staticmethod
+    def _require_reserved(pipeline: BitPipeline) -> None:
+        """Refuse to inject into a pipeline not reserved for analog output."""
+        if not pipeline.reserved:
+            raise RegisterLiveError(
+                "reduction injected into an unreserved pipeline: its vector "
+                "registers are live digital state; reserve the pipeline "
+                "(dce.reserve_pipeline, done by set_matrix) before issuing "
+                "an MVM that writes into it"
+            )
+
     def next_entry(self) -> Optional[InjectionTableEntry]:
         """The next table entry to inject, or ``None`` when the table is done."""
         if self.counter >= len(self.table):
@@ -94,7 +106,13 @@ class InstructionInjectionUnit:
         (the shift unit applied the shifts in flight); the IIU only has to
         issue the write + ADD stream.  Returns the word-op costs and the
         number of front-end instruction slots this injection saved.
+
+        The target pipeline must have been reserved for analog output
+        (``dce.reserve_pipeline``, done by ``set_matrix``); injecting into
+        an unreserved pipeline would overwrite vector registers the digital
+        substrate considers live (:class:`~repro.errors.RegisterLiveError`).
         """
+        self._require_reserved(pipeline)
         costs: List[WordOpCost] = []
         pipeline.clear_vr(accumulator_vr)
         for index, values in enumerate(partial_values):
@@ -187,7 +205,12 @@ class InstructionInjectionUnit:
 
         Returns ``(reduced, costs, slots_saved)`` where ``reduced`` is the
         ``(batch, width)`` accumulator contents after the stream.
+
+        Like :meth:`inject_reduction`, requires the target pipeline to be
+        reserved for analog output (:class:`~repro.errors.RegisterLiveError`
+        otherwise).
         """
+        self._require_reserved(pipeline)
         stacked = np.stack([np.asarray(v, dtype=np.int64) for v in partial_values])
         batch, width = stacked.shape[1], stacked.shape[2]
         reduced = self.wrap_accumulator(stacked.sum(axis=0), pipeline.depth)

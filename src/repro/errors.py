@@ -59,5 +59,54 @@ class DeviceError(ReproError):
     """A memory-device level failure (programming, stuck-at, range)."""
 
 
+class DeviceFailedError(DeviceError):
+    """A whole device (chip) failed while serving a shard of work.
+
+    Raised by the fault-injection harness (and, in a real deployment, by the
+    transport layer) when a device is dead or unresponsive.  The pool's
+    fan-out treats it as retryable: the failing shard re-dispatches on a
+    replica instead of failing its riders.
+
+    Attributes
+    ----------
+    device_index:
+        Pool index of the failed device.
+    kind:
+        Failure kind: ``"kill"`` (dead until healed), ``"hang"``
+        (unresponsive for a bounded number of calls), or ``"exhausted"``
+        (every replica of a shard failed).
+    """
+
+    def __init__(self, device_index: int, kind: str = "kill",
+                 message: str = "") -> None:
+        self.device_index = device_index
+        self.kind = kind
+        detail = message or f"device {device_index} failed ({kind})"
+        super().__init__(detail)
+
+
+class ReplicationError(AllocationError):
+    """A replication factor cannot be satisfied by the configured pool.
+
+    Attributes
+    ----------
+    replication:
+        The requested replication factor.
+    num_devices:
+        Devices available in the pool.
+    """
+
+    def __init__(self, replication: int, num_devices: int,
+                 message: str = "") -> None:
+        self.replication = replication
+        self.num_devices = num_devices
+        detail = message or (
+            f"replication factor {replication} cannot be satisfied by a pool "
+            f"of {num_devices} device(s); replicas of one row band must live "
+            f"on distinct devices"
+        )
+        super().__init__(detail)
+
+
 class QuantizationError(ReproError):
     """A value cannot be represented with the requested precision."""

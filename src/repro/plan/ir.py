@@ -401,6 +401,8 @@ class ShardTask:
     row_end: int
     #: The device-level allocation holding this band.
     device_allocation: object
+    #: Replica index of this copy of the band (0 = primary).
+    replica: int = 0
 
 
 @dataclass
@@ -413,14 +415,24 @@ class ShardedPlan:
     device-level :class:`MvmPlan` caches are warmed per ``input_bits``
     through :meth:`DevicePool.compile` (``prepared_input_bits`` records
     which precisions are hot).
+
+    Under replication every row band exists on ``replication`` distinct
+    devices; ``tasks`` holds the primary (replica-0) copy of each band and
+    ``replicas`` maps a band's position to *all* its copies in replica
+    order, which is what the fan-out's retry path walks when a device
+    fails mid-batch.
     """
 
     allocation_id: int
     shape: Tuple[int, int]
-    #: All shard tasks, in shard (merge) order.
+    #: Primary shard tasks, in shard (merge) order.
     tasks: Tuple[ShardTask, ...]
-    #: Tasks grouped by executing device (fan-out order).
+    #: Primary tasks grouped by executing device (fan-out order).
     tasks_by_device: Dict[int, Tuple[ShardTask, ...]]
+    #: Every copy of every band: position -> tasks in replica order
+    #: (``replicas[p][0] is tasks[p]``).  Bands with a single copy map to a
+    #: one-element tuple.
+    replicas: Dict[int, Tuple[ShardTask, ...]] = field(default_factory=dict)
     #: Input precisions whose tile-level plans have been precompiled.
     prepared_input_bits: Set[int] = field(default_factory=set)
 
@@ -430,8 +442,33 @@ class ShardedPlan:
         return len(self.tasks)
 
     @property
+    def replication(self) -> int:
+        """Copies kept of each row band (1 = unreplicated)."""
+        if not self.replicas:
+            return 1
+        return max(len(tasks) for tasks in self.replicas.values())
+
+    def replica_tasks(self, position: int) -> Tuple[ShardTask, ...]:
+        """All copies of band ``position`` in replica order."""
+        tasks = self.replicas.get(position)
+        if tasks:
+            return tasks
+        return (self.tasks[position],)
+
+    @property
+    def all_tasks(self) -> Tuple[ShardTask, ...]:
+        """Every task including replicas, band-major then replica order."""
+        if not self.replicas:
+            return self.tasks
+        return tuple(
+            task
+            for position in range(self.num_shards)
+            for task in self.replica_tasks(position)
+        )
+
+    @property
     def devices_used(self) -> List[int]:
-        """Indices of the devices holding at least one shard."""
+        """Indices of the devices holding at least one primary shard."""
         return sorted(self.tasks_by_device)
 
     def describe(self) -> str:
@@ -439,12 +476,20 @@ class ShardedPlan:
         lines = [
             f"ShardedPlan: allocation {self.allocation_id}, "
             f"{self.shape[0]}x{self.shape[1]} over {self.num_shards} shard(s) "
-            f"on devices {self.devices_used}",
+            f"on devices {self.devices_used}"
+            + (f", replication {self.replication}" if self.replication > 1 else ""),
         ]
         for task in self.tasks:
+            suffix = ""
+            fallbacks = [
+                str(replica.device_index)
+                for replica in self.replica_tasks(task.position)[1:]
+            ]
+            if fallbacks:
+                suffix = f" (replicas on {', '.join(fallbacks)})"
             lines.append(
                 f"  shard {task.position}: rows {task.row_start}:{task.row_end} "
-                f"-> device {task.device_index}"
+                f"-> device {task.device_index}{suffix}"
             )
         if self.prepared_input_bits:
             lines.append(

@@ -9,6 +9,7 @@ from .apps import (
     serve_cnn_conv,
     serve_llm_projection,
 )
+from .faults import FaultEvent, FaultInjector, FaultSchedule
 from .pool import (
     CacheAffinityPolicy,
     DevicePool,
@@ -43,6 +44,9 @@ __all__ = [
     "CnnSession",
     "DarthPumDevice",
     "DevicePool",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "FlatRequestQueue",
     "IndexedRequestQueue",
     "LeastLoadedPolicy",

@@ -18,6 +18,13 @@ sharding work across identical compute tiles:
   :class:`~repro.plan.ir.ShardedPlan` (``compile`` additionally warms the
   tile-level :class:`~repro.plan.ir.MvmPlan` caches), so the per-request
   fan-out does zero planning.
+* with ``replication=R`` every row band is programmed on ``R`` *distinct*
+  devices; dispatch prefers the primary copy, and a shard whose device
+  fails mid-call (:class:`~repro.errors.DeviceFailedError`, typically from
+  the :class:`~repro.runtime.faults.FaultInjector`) is retried on a replica
+  instead of failing its riders.  Replicas hold identical blocks, partials
+  are merged in band order either way, so degraded results are bit-identical
+  to fault-free ones.
 * ``total_ledger`` aggregates the cost ledgers of every device and chip so
   throughput/energy accounting stays a one-liner.
 """
@@ -31,7 +38,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.config import ChipConfig
-from ..errors import AllocationError, NoDevicesError, QuantizationError
+from ..errors import (
+    AllocationError,
+    DeviceFailedError,
+    NoDevicesError,
+    QuantizationError,
+    ReplicationError,
+)
 from ..metrics import CostLedger, merge_ledgers
 from ..plan.backends import ExecutionBackend
 from ..plan.ir import ShardTask, ShardedPlan
@@ -51,13 +64,33 @@ __all__ = [
 ]
 
 
+#: Shared empty "tried" set for initial replica selection (never mutated).
+_NOTHING_TRIED: frozenset = frozenset()
+
+
+class _ShardFailure:
+    """Sentinel carried back from a tolerant fan-out worker: shard failed."""
+
+    __slots__ = ("task", "error")
+
+    def __init__(self, task: ShardTask, error: DeviceFailedError) -> None:
+        self.task = task
+        self.error = error
+
+
 @dataclass(frozen=True)
 class Shard:
-    """One contiguous row band of a pooled matrix, pinned to one device."""
+    """One contiguous row band of a pooled matrix, pinned to one device.
+
+    ``replica`` is the copy index within the band: 0 is the primary (the
+    copy dispatch prefers), 1..R-1 are failover replicas holding identical
+    blocks on distinct devices.
+    """
 
     device_index: int
     row_start: int
     row_end: int
+    replica: int = 0
 
     @property
     def rows(self) -> int:
@@ -80,12 +113,19 @@ class PooledAllocation:
 
     @property
     def num_shards(self) -> int:
-        """Number of row shards the matrix was split into."""
-        return len(self.shards)
+        """Number of row bands the matrix was split into (replicas excluded)."""
+        return sum(1 for shard, _ in self.shards if shard.replica == 0)
+
+    @property
+    def replication(self) -> int:
+        """Copies stored of each row band (1 = unreplicated)."""
+        if not self.shards:
+            return 1
+        return max(shard.replica for shard, _ in self.shards) + 1
 
     @property
     def devices_used(self) -> List[int]:
-        """Indices of the devices holding at least one shard."""
+        """Indices of the devices holding at least one shard (replicas too)."""
         return sorted({shard.device_index for shard, _ in self.shards})
 
 
@@ -101,6 +141,13 @@ class PlacementPolicy:
 
     ``committed`` is invoked once a full plan succeeds so stateful policies
     (round-robin's cursor) only advance on placements that actually happen.
+
+    Replication needs no policy-specific support: when placing copy ``r > 0``
+    of a band, the pool hands ``choose`` a trial free list in which the
+    devices already holding that band are masked out (set to ``-1``), so
+    *every* policy -- including :class:`CacheAffinityPolicy`, whose affinity
+    pull would otherwise collapse replicas onto one chip -- spreads the
+    copies across distinct devices by construction.
     """
 
     name = "base"
@@ -255,6 +302,12 @@ class DevicePool:
         parallel and serial execution are bit-identical.
     max_workers:
         Cap on fan-out worker threads (defaults to the device count).
+    replication:
+        Copies stored of each row band (default 1 = no replication).  With
+        ``replication=R`` every band of every matrix is programmed on ``R``
+        distinct devices; dispatch prefers the primary copy and fails over
+        to replicas when a device dies mid-call.  Must not exceed
+        ``num_devices`` (:class:`~repro.errors.ReplicationError`).
     """
 
     POLICIES = ("round_robin", "least_loaded", "cache_affinity")
@@ -268,11 +321,20 @@ class DevicePool:
         backend: Union[None, str, ExecutionBackend] = None,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        replication: int = 1,
     ) -> None:
         if num_devices < 1:
             raise NoDevicesError(
                 f"a device pool needs at least one device (got {num_devices})"
             )
+        self.replication = int(replication)
+        if self.replication < 1:
+            raise ReplicationError(
+                self.replication, num_devices,
+                f"replication factor must be >= 1 (got {replication})",
+            )
+        if self.replication > num_devices:
+            raise ReplicationError(self.replication, num_devices)
         self.placement_policy = make_placement_policy(policy)
         self.devices: List[DarthPumDevice] = [
             DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
@@ -284,6 +346,17 @@ class DevicePool:
         self._allocations: Dict[int, PooledAllocation] = {}
         self._sharded_plans: Dict[int, ShardedPlan] = {}
         self._next_allocation = 0
+        # Health tracking and degraded-mode telemetry.  A device lands in
+        # ``_failed_devices`` when a call on it raises DeviceFailedError;
+        # dispatch then prefers its bands' replicas until ``restore_device``
+        # (typically via FaultInjector.heal) re-admits it.
+        self._failed_devices: set = set()
+        self.replica_retries = 0
+        self.replica_hits = 0
+        self.device_failures = 0
+        #: Optional :class:`~repro.runtime.faults.FaultInjector`, consulted
+        #: around every device execution when set (see ``attach``).
+        self.fault_injector = None
 
     @property
     def policy(self) -> str:
@@ -338,12 +411,12 @@ class DevicePool:
             raise QuantizationError("set_matrix expects a 2-D matrix")
         rows, cols = matrix.shape
 
-        # Each shard occupies at least one HCT, so the total free capacity
-        # bounds the number of shards worth attempting (keeps the failure
-        # path linear instead of O(rows^2)).
-        max_shards = min(
-            rows, sum(self.free_hcts(index) for index in range(self.num_devices))
-        )
+        # Each shard copy occupies at least one HCT, so the total free
+        # capacity (divided by the copies each band needs) bounds the number
+        # of bands worth attempting (keeps the failure path linear instead
+        # of O(rows^2)).
+        total_free = sum(self.free_hcts(index) for index in range(self.num_devices))
+        max_shards = min(rows, total_free // self.replication)
         plan: Optional[List[Shard]] = None
         for num_shards in range(1, max_shards + 1):
             plan = self._plan_shards(
@@ -380,7 +453,14 @@ class DevicePool:
         num_shards: int,
         affinity: Sequence[int] = (),
     ) -> Optional[List[Shard]]:
-        """Try to place ``num_shards`` even row bands; None when infeasible."""
+        """Try to place ``num_shards`` even row bands; None when infeasible.
+
+        With ``replication=R`` each band is placed ``R`` times.  Replicas of
+        one band must land on distinct devices (that is the whole point of
+        a replica), which is enforced here rather than in the policies: the
+        trial free list handed to ``choose`` has the band's existing devices
+        masked out, so any policy spreads copies correctly.
+        """
         rows, cols = shape
         if num_shards > rows:
             return None
@@ -391,12 +471,26 @@ class DevicePool:
         while start < rows:
             end = min(rows, start + band)
             needed = self._hcts_for((end - start, cols), element_size, precision)
-            placed_devices = list(affinity) + [shard.device_index for shard in shards]
-            chosen = self.placement_policy.choose(free, needed, placed_devices)
-            if chosen is None:
-                return None
-            free[chosen] -= needed
-            shards.append(Shard(device_index=chosen, row_start=start, row_end=end))
+            band_devices: List[int] = []
+            for replica in range(self.replication):
+                placed_devices = (
+                    list(affinity) + [shard.device_index for shard in shards]
+                )
+                if band_devices:
+                    trial = list(free)
+                    for index in band_devices:
+                        trial[index] = -1
+                else:
+                    trial = free
+                chosen = self.placement_policy.choose(trial, needed, placed_devices)
+                if chosen is None:
+                    return None
+                free[chosen] -= needed
+                band_devices.append(chosen)
+                shards.append(
+                    Shard(device_index=chosen, row_start=start, row_end=end,
+                          replica=replica)
+                )
             start = end
         return shards
 
@@ -411,24 +505,35 @@ class DevicePool:
         """
         plan = self._sharded_plans.get(allocation.allocation_id)
         if plan is None:
-            tasks = tuple(
-                ShardTask(
+            primaries: List[ShardTask] = []
+            copies: Dict[int, List[ShardTask]] = {}
+            for shard, device_allocation in allocation.shards:
+                position = len(primaries) if shard.replica == 0 else len(primaries) - 1
+                task = ShardTask(
                     position=position,
                     device_index=shard.device_index,
                     row_start=shard.row_start,
                     row_end=shard.row_end,
                     device_allocation=device_allocation,
+                    replica=shard.replica,
                 )
-                for position, (shard, device_allocation) in enumerate(allocation.shards)
-            )
+                if shard.replica == 0:
+                    primaries.append(task)
+                copies.setdefault(position, []).append(task)
+            tasks = tuple(primaries)
             by_device: Dict[int, List[ShardTask]] = {}
             for task in tasks:
                 by_device.setdefault(task.device_index, []).append(task)
+            replicated = any(len(group) > 1 for group in copies.values())
             plan = ShardedPlan(
                 allocation_id=allocation.allocation_id,
                 shape=allocation.shape,
                 tasks=tasks,
                 tasks_by_device={k: tuple(v) for k, v in by_device.items()},
+                replicas=(
+                    {position: tuple(group) for position, group in copies.items()}
+                    if replicated else {}
+                ),
             )
             self._sharded_plans[allocation.allocation_id] = plan
         return plan
@@ -445,7 +550,9 @@ class DevicePool:
         """
         plan = self.sharded_plan(allocation)
         if input_bits not in plan.prepared_input_bits:
-            for task in plan.tasks:
+            # Warm replicas too: a failover must not pay a planning stall in
+            # the middle of a degraded batch.
+            for task in plan.all_tasks:
                 self.devices[task.device_index].compile(
                     task.device_allocation, input_bits=input_bits
                 )
@@ -455,6 +562,145 @@ class DevicePool:
     def planner_builds(self) -> int:
         """Execution plans compiled across every device in the pool."""
         return sum(device.planner_builds() for device in self.devices)
+
+    # ------------------------------------------------------------------ #
+    # Device health and replica failover                                   #
+    # ------------------------------------------------------------------ #
+    def mark_device_failed(self, device_index: int) -> None:
+        """Record that ``device_index`` failed; dispatch avoids it until restored."""
+        if device_index not in self._failed_devices:
+            self._failed_devices.add(device_index)
+            self.device_failures += 1
+
+    def restore_device(self, device_index: int) -> None:
+        """Re-admit a previously failed device to shard dispatch."""
+        self._failed_devices.discard(device_index)
+
+    @property
+    def failed_devices(self) -> List[int]:
+        """Devices currently marked failed, sorted."""
+        return sorted(self._failed_devices)
+
+    def device_health(self) -> List[bool]:
+        """Per-device health flags (True = healthy / dispatchable)."""
+        return [
+            index not in self._failed_devices for index in range(self.num_devices)
+        ]
+
+    def _device_call(self, device_index: int, fn, *args, **kwargs):
+        """Run one device call through the fault injector (when attached)."""
+        injector = self.fault_injector
+        if injector is not None:
+            injector.before_call(device_index)
+        result = fn(*args, **kwargs)
+        if injector is not None:
+            result = injector.after_call(device_index, result)
+        return result
+
+    def _select_task(
+        self, plan: ShardedPlan, position: int, tried
+    ) -> Optional[ShardTask]:
+        """Pick the copy of band ``position`` to dispatch.
+
+        Prefers the first *healthy* copy in replica order (primary first);
+        when every copy's device is marked failed, falls back to the first
+        untried one anyway -- a marked device may have recovered, and trying
+        it beats failing the band outright.  Returns ``None`` only when
+        every copy has already been tried this call (truly exhausted).
+        """
+        fallback: Optional[ShardTask] = None
+        for task in plan.replica_tasks(position):
+            if task.device_index in tried:
+                continue
+            if fallback is None:
+                fallback = task
+            if task.device_index not in self._failed_devices:
+                return task
+        return fallback
+
+    def _exhausted(
+        self, plan: ShardedPlan, position: int, device_index: int, tried
+    ) -> DeviceFailedError:
+        return DeviceFailedError(
+            device_index, "exhausted",
+            f"every replica of band {position} of allocation "
+            f"{plan.allocation_id} has failed (tried devices {sorted(tried)})",
+        )
+
+    def _run_shard_with_retry(self, plan: ShardedPlan, position: int, call):
+        """Serially execute one band, failing over across its replicas.
+
+        ``call(task)`` performs the device work for one copy.  A copy whose
+        device raises :class:`~repro.errors.DeviceFailedError` is marked
+        failed and the next replica is tried; when no copy is left the
+        band raises ``DeviceFailedError(kind="exhausted")``.
+        """
+        tried: set = set()
+        task = self._select_task(plan, position, tried)
+        if task.replica != 0:
+            self.replica_hits += 1
+        while True:
+            try:
+                return self._device_call(task.device_index, call, task)
+            except DeviceFailedError as exc:
+                self.mark_device_failed(task.device_index)
+                tried.add(task.device_index)
+                retry = self._select_task(plan, position, tried)
+                if retry is None:
+                    raise self._exhausted(
+                        plan, position, task.device_index, tried
+                    ) from exc
+                self.replica_retries += 1
+                task = retry
+
+    def _dispatch_with_retry(self, selected: Dict, run) -> Dict:
+        """Fan out selected shard copies; re-dispatch failed ones on replicas.
+
+        ``selected`` maps an opaque key to ``(plan, task)``;
+        ``run(device_index, (key, task))`` returns ``(key, value)`` where
+        ``value`` is either a partial result or a :class:`_ShardFailure`
+        (the tolerant wrapper converts in-call ``DeviceFailedError`` into
+        the latter so sibling shards are unaffected).  The initial wave runs
+        in parallel; retries go out in further waves (rarely more than one)
+        until every key has a result or some band exhausts its replicas.
+        """
+        tasks_by_device: Dict[int, List] = {}
+        for key, (plan, task) in selected.items():
+            tasks_by_device.setdefault(task.device_index, []).append((key, task))
+        tried: Dict = {}
+        results: Dict = {}
+        while tasks_by_device:
+            outcomes = self._run_device_tasks(tasks_by_device, run)
+            tasks_by_device = {}
+            for key, value in outcomes.items():
+                if not isinstance(value, _ShardFailure):
+                    results[key] = value
+                    continue
+                plan, _ = selected[key]
+                failed = value.task
+                self.mark_device_failed(failed.device_index)
+                attempted = tried.setdefault(key, set())
+                attempted.add(failed.device_index)
+                retry = self._select_task(plan, failed.position, attempted)
+                if retry is None:
+                    raise self._exhausted(
+                        plan, failed.position, failed.device_index, attempted
+                    ) from value.error
+                self.replica_retries += 1
+                tasks_by_device.setdefault(retry.device_index, []).append(
+                    (key, retry)
+                )
+        return results
+
+    def _select_all(self, plans_by_key: Dict) -> Dict:
+        """Health-aware initial selection for a fan-out: key -> (plan, task)."""
+        selected: Dict = {}
+        for key, (plan, position) in plans_by_key.items():
+            task = self._select_task(plan, position, _NOTHING_TRIED)
+            if task.replica != 0:
+                self.replica_hits += 1
+            selected[key] = (plan, task)
+        return selected
 
     def exec_mvm(
         self,
@@ -469,13 +715,17 @@ class DevicePool:
             raise QuantizationError(
                 f"input vector of shape {vector.shape} does not match matrix rows ({rows})"
             )
-        result = np.zeros(cols, dtype=np.int64)
-        for task in self.sharded_plan(allocation).tasks:
-            device = self.devices[task.device_index]
-            result += device.exec_mvm(
+        plan = self.sharded_plan(allocation)
+
+        def call(task: ShardTask) -> np.ndarray:
+            return self.devices[task.device_index].exec_mvm(
                 task.device_allocation, vector[task.row_start: task.row_end],
                 input_bits=input_bits,
             )
+
+        result = np.zeros(cols, dtype=np.int64)
+        for position in range(plan.num_shards):
+            result += self._run_shard_with_retry(plan, position, call)
         return result
 
     def _fanout_executor(self) -> ThreadPoolExecutor:
@@ -577,22 +827,35 @@ class DevicePool:
             # Single-shard fast path (the common serving case): the device
             # result *is* the pool result -- no zero tensor, no partial-sum
             # add, and ``vectors`` (often an arena view handed down by the
-            # server) flows through unsliced.
-            task = plan.tasks[0]
-            return self.devices[task.device_index].exec_mvm_batch(
-                task.device_allocation, vectors, input_bits=input_bits,
-                backend=backend,
-            )
+            # server) flows through unsliced.  Failover still applies: the
+            # retry helper is a straight call when the pool is healthy.
+            def single(task: ShardTask) -> np.ndarray:
+                return self.devices[task.device_index].exec_mvm_batch(
+                    task.device_allocation, vectors, input_bits=input_bits,
+                    backend=backend,
+                )
+
+            return self._run_shard_with_retry(plan, 0, single)
         result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
 
-        def run(device_index: int, task: ShardTask):
-            partial = self.devices[device_index].exec_mvm_batch(
-                task.device_allocation, vectors[:, task.row_start: task.row_end],
-                input_bits=input_bits, backend=backend,
-            )
-            return task.position, partial
+        def run(device_index: int, item):
+            position, task = item
+            try:
+                partial = self._device_call(
+                    device_index,
+                    self.devices[device_index].exec_mvm_batch,
+                    task.device_allocation,
+                    vectors[:, task.row_start: task.row_end],
+                    input_bits=input_bits, backend=backend,
+                )
+            except DeviceFailedError as exc:
+                return position, _ShardFailure(task, exc)
+            return position, partial
 
-        partials = self._run_device_tasks(plan.tasks_by_device, run)
+        selected = self._select_all(
+            {position: (plan, position) for position in range(plan.num_shards)}
+        )
+        partials = self._dispatch_with_retry(selected, run)
         for position in range(plan.num_shards):
             result += partials[position]
         return result
@@ -616,7 +879,6 @@ class DevicePool:
         batches: List[np.ndarray] = []
         shapes: List[Tuple[int, int]] = []
         plans: List[ShardedPlan] = []
-        tasks_by_device: Dict[int, List] = {}
         for index, (allocation, vectors) in enumerate(requests):
             vectors = np.atleast_2d(np.asarray(vectors, dtype=np.int64))
             rows, cols = allocation.shape
@@ -629,21 +891,28 @@ class DevicePool:
             shapes.append((vectors.shape[0], cols))
             plan = self.sharded_plan(allocation)
             plans.append(plan)
-            for task in plan.tasks:
-                tasks_by_device.setdefault(task.device_index, []).append(
-                    (index, task)
-                )
 
         def run(device_index: int, item):
-            index, task = item
-            partial = self.devices[device_index].exec_mvm_batch(
-                task.device_allocation,
-                batches[index][:, task.row_start: task.row_end],
-                input_bits=input_bits, backend=backend,
-            )
-            return (index, task.position), partial
+            key, task = item
+            index, _position = key
+            try:
+                partial = self._device_call(
+                    device_index,
+                    self.devices[device_index].exec_mvm_batch,
+                    task.device_allocation,
+                    batches[index][:, task.row_start: task.row_end],
+                    input_bits=input_bits, backend=backend,
+                )
+            except DeviceFailedError as exc:
+                return key, _ShardFailure(task, exc)
+            return key, partial
 
-        partials = self._run_device_tasks(tasks_by_device, run)
+        selected = self._select_all({
+            (index, position): (plan, position)
+            for index, plan in enumerate(plans)
+            for position in range(plan.num_shards)
+        })
+        partials = self._dispatch_with_retry(selected, run)
         results: List[np.ndarray] = []
         for index, plan in enumerate(plans):
             total = np.zeros(shapes[index], dtype=np.int64)
@@ -699,7 +968,8 @@ class DevicePool:
         vectors = np.asarray(vectors, dtype=np.int64)
         parts = []
         for shard, device_allocation in sorted(
-            allocation.shards, key=lambda pair: pair[0].row_start
+            (pair for pair in allocation.shards if pair[0].replica == 0),
+            key=lambda pair: pair[0].row_start,
         ):
             assert device_allocation.matrix is not None
             parts.append(device_allocation.matrix)

@@ -234,6 +234,15 @@ class ServingStats:
     zero_copy_batches: int = 0
     #: Batches gathered row-by-row into the reusable batch arena.
     gathered_batches: int = 0
+    #: Degraded-mode telemetry (replication / fault handling, see
+    #: :class:`~repro.runtime.pool.DevicePool`): shard executions served by
+    #: a non-primary replica, shard executions re-dispatched after an
+    #: in-call device failure, devices newly marked failed, and batches
+    #: during which any of those happened.
+    replica_hits: int = 0
+    replica_retries: int = 0
+    device_failures: int = 0
+    degraded_batches: int = 0
     peak_queue_depth: int = 0
     queue_depth_samples: Deque[int] = field(
         default_factory=lambda: deque(maxlen=TELEMETRY_WINDOW)
@@ -306,6 +315,10 @@ class ServingStats:
             "batches": float(self.batches),
             "zero_copy_batches": float(self.zero_copy_batches),
             "gathered_batches": float(self.gathered_batches),
+            "replica_hits": float(self.replica_hits),
+            "replica_retries": float(self.replica_retries),
+            "device_failures": float(self.device_failures),
+            "degraded_batches": float(self.degraded_batches),
             "mean_batch_fill": self.mean_batch_fill,
             "max_queue_depth": float(self.peak_queue_depth),
             "p50_latency_ticks": self.latency_percentile(50),
@@ -349,9 +362,11 @@ class PumServer:
         admission: str = "reject",
         backend: Union[None, str, ExecutionBackend] = None,
         queue: Union[str, RequestQueue] = "indexed",
+        replication: int = 1,
     ) -> None:
         self.pool = pool if pool is not None else DevicePool(
-            num_devices=num_devices, policy=policy, backend=backend
+            num_devices=num_devices, policy=policy, backend=backend,
+            replication=replication,
         )
         #: Execution backend for batches dispatched by this server; ``None``
         #: defers to the pool's default.  Kept server-side so two servers
@@ -760,12 +775,39 @@ class PumServer:
         """
         return self.pool.total_energy_pj()
 
+    def _note_degraded(
+        self, hits_before: int, retries_before: int, failures_before: int
+    ) -> None:
+        """Fold the pool's resilience counter deltas into the serving stats.
+
+        Bracketing per dispatch (like the energy reading) keeps the stats
+        correct even when several servers share one pool: each server only
+        accounts the degradation its own batches experienced.
+        """
+        pool = self.pool
+        hits = pool.replica_hits - hits_before
+        retries = pool.replica_retries - retries_before
+        failures = pool.device_failures - failures_before
+        if hits or retries or failures:
+            self.stats.replica_hits += hits
+            self.stats.replica_retries += retries
+            self.stats.device_failures += failures
+            self.stats.degraded_batches += 1
+
+    def device_health(self) -> List[bool]:
+        """Per-device health of the underlying pool (True = dispatchable)."""
+        return self.pool.device_health()
+
     def _execute_batch(
         self, name: str, input_bits: int, batch: List[Request]
     ) -> List[Response]:
         allocation = self._matrices[name]
         vectors = self._assemble_batch(allocation, input_bits, batch)
         energy_before = self._energy_total()
+        pool = self.pool
+        hits_before = pool.replica_hits
+        retries_before = pool.replica_retries
+        failures_before = pool.device_failures
         try:
             results = self.pool.exec_mvm_batch(
                 allocation, vectors, input_bits=input_bits, backend=self.backend
@@ -773,7 +815,9 @@ class PumServer:
         except ReproError as exc:
             # A failing batch must never wedge the scheduler: resolve every
             # rider as failed and keep the loop (and any driver thread) alive.
+            self._note_degraded(hits_before, retries_before, failures_before)
             return self._fail_batch(batch, exc)
+        self._note_degraded(hits_before, retries_before, failures_before)
         energy_pj = self._energy_total() - energy_before
         per_request = energy_pj / len(batch)
 

@@ -1,4 +1,13 @@
-"""Shared fixtures for the DARTH-PUM reproduction test suite."""
+"""Shared fixtures for the DARTH-PUM reproduction test suite.
+
+All randomness in the suite derives from one knob: ``REPRO_TEST_SEED``
+(environment variable, default 12345).  Tests obtain generators through
+:func:`repro.testing.derive_rng` / the ``make_rng`` fixture, which hand
+out independent, label-keyed streams of the master seed -- so every chaos
+schedule, property case, and random matrix in the suite is reproducible
+from a single number, and the CI chaos job can sweep seeds by exporting
+the variable.
+"""
 
 from __future__ import annotations
 
@@ -7,12 +16,25 @@ import pytest
 
 from repro.core import HctConfig, HybridComputeTile
 from repro.digital import BitPipeline
+from repro.testing import REPRO_TEST_SEED, derive_rng
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The suite-wide master seed (``REPRO_TEST_SEED``)."""
+    return REPRO_TEST_SEED
+
+
+@pytest.fixture
+def make_rng():
+    """Factory fixture: ``make_rng("label")`` -> a derived generator."""
+    return derive_rng
 
 
 @pytest.fixture
 def rng():
-    """A deterministic random generator."""
-    return np.random.default_rng(12345)
+    """The default deterministic generator (master seed, no label)."""
+    return np.random.default_rng(REPRO_TEST_SEED)
 
 
 @pytest.fixture

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+
+from repro.testing import derive_rng
 from hypothesis import given, settings, strategies as st
 
 from repro.analog import (
@@ -217,7 +219,7 @@ class TestCompensation:
 )
 def test_property_ace_mvm_matches_numpy(rows, cols, bits, seed):
     """Property: noise-free bit-sliced analog MVM equals the integer matmul."""
-    rng = np.random.default_rng(seed)
+    rng = derive_rng("analog", seed)
     ace = AnalogComputeElement(AceConfig(num_arrays=64, array_rows=16, array_cols=16))
     magnitude = 2 ** (bits - 1)
     matrix = rng.integers(-magnitude, magnitude, size=(rows, cols))

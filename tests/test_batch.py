@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import derive_rng
+
 from repro.core import HctConfig, HybridComputeTile
 from repro.errors import QuantizationError
 from repro.reram import NoiseConfig
@@ -13,7 +15,7 @@ from repro.runtime import DarthPumDevice
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(2024)
+    return derive_rng("batch")
 
 
 def _stacked_singles(tile, handle, vectors, input_bits):

@@ -1,0 +1,336 @@
+"""Chaos suite: device failures under load must not lose or corrupt work.
+
+The tier-1 resilience gate of ROADMAP item 5.  The headline scenario kills
+1 of N devices mid-load on a replication-2 pool and asserts the three
+degraded-mode guarantees end to end:
+
+* **zero lost futures** -- every submitted request resolves exactly once;
+* **bit-identical responses** -- results, statuses, and per-request tick
+  latencies match a fault-free twin run bit for bit (failover is intra-call,
+  so even the latency distribution is unchanged);
+* **bounded p99 blip** -- asserted at its strongest: the degraded run's
+  p99 latency in ticks *equals* the fault-free run's.
+
+Alongside the gate: fault-injector unit semantics (kill / hang / corrupt /
+heal, seeded schedules), replicated placement invariants, and retry
+accounting down to the pool counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import derive_rng
+from repro.core import ChipConfig, HctConfig
+from repro.errors import DeviceFailedError, ReplicationError, SchedulerError
+from repro.runtime import DevicePool, FaultEvent, FaultInjector, FaultSchedule, PumServer
+
+
+def tiny_pool(num_devices=3, num_hcts=3, replication=1, policy="least_loaded"):
+    config = ChipConfig(hct=HctConfig.small(), num_hcts=num_hcts)
+    return DevicePool(
+        num_devices=num_devices, config=config, policy=policy,
+        replication=replication,
+    )
+
+
+def make_server(replication=2, num_devices=3, **kwargs):
+    pool = tiny_pool(num_devices=num_devices, replication=replication)
+    defaults = dict(max_batch=4, max_wait_ticks=2, queue_capacity=256)
+    defaults.update(kwargs)
+    return PumServer(pool=pool, **defaults)
+
+
+class TestFaultInjector:
+    def test_kill_blocks_until_heal(self):
+        pool = tiny_pool(num_devices=2, replication=1)
+        injector = FaultInjector().attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        victim = allocation.devices_used[0]
+        injector.kill(victim)
+        vectors = np.ones((2, 8), dtype=np.int64)
+        with pytest.raises(DeviceFailedError) as excinfo:
+            pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert excinfo.value.kind == "exhausted"  # no replica to fail over to
+        assert injector.calls_blocked >= 1
+        injector.heal(victim)
+        assert pool.failed_devices == []
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert np.array_equal(out, vectors)
+
+    def test_hang_clears_itself(self):
+        pool = tiny_pool(num_devices=2, replication=2)
+        injector = FaultInjector().attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        primary = allocation.shards[0][0].device_index
+        injector.hang(primary, calls=1)
+        vectors = np.ones((2, 8), dtype=np.int64)
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert np.array_equal(out, vectors)  # served by the replica
+        assert pool.replica_retries == 1
+        assert injector.active_faults() == {}  # hang consumed its budget
+        # The device stays health-marked until restored; traffic keeps
+        # flowing on the replica (a hit, not a retry).
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert np.array_equal(out, vectors)
+        assert pool.replica_hits >= 1
+
+    def test_corrupt_flips_bits_deterministically(self):
+        results = []
+        for _ in range(2):
+            pool = tiny_pool(num_devices=1, replication=1)
+            injector = FaultInjector(seed=7).attach(pool)
+            allocation = pool.set_matrix(np.eye(8, dtype=np.int64),
+                                         element_size=4)
+            injector.corrupt(0, calls=1)
+            vectors = np.ones((2, 8), dtype=np.int64)
+            out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+            results.append(out)
+            # Silent corruption: the call *succeeds* but the payload lies --
+            # exactly what the chaos suite's bit-identity assertions exist
+            # to catch.
+            assert not np.array_equal(out, vectors)
+            assert injector.results_corrupted == 1
+            clean = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+            assert np.array_equal(clean, vectors)
+        assert np.array_equal(results[0], results[1])  # seed-deterministic
+
+    def test_scheduled_events_fire_on_call_counts(self):
+        pool = tiny_pool(num_devices=2, replication=2)
+        schedule = FaultSchedule(
+            events=(FaultEvent(device_index=0, mode="kill", after_call=1),),
+        )
+        injector = FaultInjector(schedule=schedule).attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        assert allocation.shards[0][0].device_index == 0
+        vectors = np.ones((1, 8), dtype=np.int64)
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)  # call 0
+        assert np.array_equal(out, vectors)
+        assert pool.replica_retries == 0
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)  # call 1: kill
+        assert np.array_equal(out, vectors)
+        assert pool.replica_retries == 1
+        assert injector.kills_triggered == 1
+
+    def test_schedule_from_seed_is_reproducible(self):
+        first = FaultSchedule.from_seed(42, num_devices=4)
+        second = FaultSchedule.from_seed(42, num_devices=4)
+        assert first == second
+        different = FaultSchedule.from_seed(43, num_devices=4)
+        assert first != different
+        for event in first.events:
+            assert 0 <= event.device_index < 4
+            assert event.mode in ("kill", "hang", "corrupt")
+            assert event.duration_calls >= 1
+
+    def test_event_validation(self):
+        with pytest.raises(SchedulerError):
+            FaultEvent(device_index=0, mode="meltdown")
+        with pytest.raises(SchedulerError):
+            FaultEvent(device_index=0, mode="kill", after_call=-1)
+        with pytest.raises(SchedulerError):
+            FaultEvent(device_index=0, mode="hang", duration_calls=0)
+        injector = FaultInjector()
+        with pytest.raises(SchedulerError):
+            injector.hang(0, calls=0)
+        with pytest.raises(SchedulerError):
+            injector.corrupt(0, calls=0)
+
+    def test_detach_stops_faults(self):
+        pool = tiny_pool(num_devices=1, replication=1)
+        injector = FaultInjector().attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        injector.kill(0)
+        injector.detach()
+        assert pool.fault_injector is None
+        out = pool.exec_mvm(allocation, np.ones(8, dtype=np.int64), input_bits=1)
+        assert np.array_equal(out, np.ones(8, dtype=np.int64))
+
+
+class TestReplicatedPlacement:
+    def test_replicas_land_on_distinct_devices(self):
+        for policy in ("round_robin", "least_loaded", "cache_affinity"):
+            pool = tiny_pool(num_devices=3, replication=2, policy=policy)
+            rng = derive_rng("placement", policy)
+            matrix = rng.integers(-8, 8, size=(40, 12))
+            allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+            assert allocation.replication == 2
+            bands = {}
+            for shard, _ in allocation.shards:
+                bands.setdefault((shard.row_start, shard.row_end), []).append(
+                    shard.device_index
+                )
+            for devices in bands.values():
+                assert len(devices) == 2
+                assert len(set(devices)) == 2, \
+                    f"{policy} stacked replicas on one device"
+
+    def test_replication_factor_validated(self):
+        with pytest.raises(ReplicationError) as excinfo:
+            tiny_pool(num_devices=2, replication=3)
+        assert excinfo.value.replication == 3
+        assert excinfo.value.num_devices == 2
+        with pytest.raises(ReplicationError):
+            tiny_pool(num_devices=2, replication=0)
+
+    def test_replicated_results_bit_identical_to_unreplicated(self):
+        rng = derive_rng("replicated-results")
+        matrix = rng.integers(-8, 8, size=(40, 12))
+        vectors = rng.integers(0, 8, size=(5, 40))
+        plain = tiny_pool(num_devices=3, replication=1)
+        replicated = tiny_pool(num_devices=3, replication=2)
+        out_plain = plain.exec_mvm_batch(
+            plain.set_matrix(matrix, element_size=4, precision=0), vectors,
+            input_bits=3,
+        )
+        out_replicated = replicated.exec_mvm_batch(
+            replicated.set_matrix(matrix, element_size=4, precision=0), vectors,
+            input_bits=3,
+        )
+        assert np.array_equal(out_plain, out_replicated)
+        assert np.array_equal(out_plain, vectors @ matrix)
+
+    def test_expected_mvm_ignores_replicas(self):
+        rng = derive_rng("expected-replicas")
+        pool = tiny_pool(num_devices=3, replication=2)
+        matrix = rng.integers(-8, 8, size=(40, 12))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        vectors = rng.integers(0, 8, size=(3, 40))
+        assert np.array_equal(
+            pool.expected_mvm(allocation, vectors), vectors @ matrix
+        )
+
+    def test_multi_band_failover_is_exact(self):
+        """Sharded + replicated: kill one device, every band still exact."""
+        rng = derive_rng("multi-band")
+        # Twice the HCTs of the unreplicated sharding tests: every band is
+        # stored twice.
+        pool = tiny_pool(num_devices=3, num_hcts=6, replication=2)
+        matrix = rng.integers(-8, 8, size=(100, 30))  # forces > 1 band
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        assert allocation.num_shards > 1
+        injector = FaultInjector().attach(pool)
+        vectors = rng.integers(0, 8, size=(4, 100))
+        injector.kill(allocation.shards[0][0].device_index)
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=3)
+        assert np.array_equal(out, vectors @ matrix)
+        assert pool.replica_retries >= 1
+        single = pool.exec_mvm(allocation, vectors[0], input_bits=3)
+        assert np.array_equal(single, vectors[0] @ matrix)
+
+
+class TestChaosGate:
+    """The tier-1 acceptance scenario: kill 1 of 3 devices mid-load, R=2."""
+
+    ROWS, COLS = 16, 8
+    WAVES = 12
+    WAVE_SIZE = 6
+
+    def _run(self, kill_at_wave=None):
+        """Drive open-loop load; optionally kill a device mid-run."""
+        rng = derive_rng("chaos-gate")  # same traffic for both runs
+        server = make_server(replication=2, num_devices=3)
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector().attach(server.pool)
+        victim = allocation.shards[0][0].device_index
+        futures = []
+        for wave in range(self.WAVES):
+            if wave == kill_at_wave:
+                injector.kill(victim)
+            vectors = rng.integers(0, 8, size=(self.WAVE_SIZE, self.ROWS))
+            futures.extend(server.submit_batch("model", vectors, input_bits=3))
+            server.tick()
+        server.run_until_idle()
+        return server, futures, matrix, victim
+
+    def test_kill_mid_load_loses_nothing_and_stays_bit_identical(self):
+        baseline, base_futures, matrix, _ = self._run(kill_at_wave=None)
+        degraded, futures, _, victim = self._run(kill_at_wave=self.WAVES // 2)
+
+        # Zero lost futures: every submitted request reached a terminal
+        # state, and all of them completed (replication absorbed the kill).
+        assert len(futures) == self.WAVES * self.WAVE_SIZE
+        assert all(f.done() for f in futures)
+        statuses = {f.result().status for f in futures}
+        assert statuses == {"completed"}
+        assert degraded.pending == 0
+        stats = degraded.stats
+        assert stats.submitted == stats.completed \
+            + stats.rejected + stats.shed + stats.failed
+        assert stats.failed == 0
+
+        # Bit-identical responses vs the fault-free twin -- results *and*
+        # tick latencies (failover happens inside the dispatch call, so the
+        # tick-domain schedule cannot shift).
+        for base_future, future in zip(base_futures, futures):
+            base = base_future.result()
+            response = future.result()
+            assert response.request_id == base.request_id
+            assert response.status == base.status
+            assert np.array_equal(response.result, base.result)
+            assert response.latency_ticks == base.latency_ticks
+
+        # Bounded p99 blip, asserted at its strongest: equality in ticks.
+        assert stats.latency_percentile(99) \
+            == baseline.stats.latency_percentile(99)
+
+        # The degradation was real and surfaced in the serving telemetry.
+        assert stats.replica_retries >= 1
+        assert stats.device_failures >= 1
+        assert stats.degraded_batches >= 1
+        assert degraded.device_health()[victim] is False
+        assert baseline.stats.degraded_batches == 0
+        assert baseline.stats.replica_retries == 0
+
+    def test_heal_restores_primary_dispatch(self):
+        rng = derive_rng("chaos-heal")
+        server = make_server(replication=2, num_devices=3)
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector().attach(server.pool)
+        victim = allocation.shards[0][0].device_index
+        injector.kill(victim)
+        server.submit_batch(
+            "model", rng.integers(0, 8, size=(4, self.ROWS)), input_bits=3
+        )
+        server.run_until_idle()
+        assert server.stats.replica_retries >= 1
+        injector.heal(victim)
+        assert server.device_health()[victim] is True
+        hits_before = server.pool.replica_hits
+        retries_before = server.pool.replica_retries
+        futures = server.submit_batch(
+            "model", rng.integers(0, 8, size=(4, self.ROWS)), input_bits=3
+        )
+        server.run_until_idle()
+        assert all(f.result().status == "completed" for f in futures)
+        # Back on the primary: no hits, no retries after recovery.
+        assert server.pool.replica_hits == hits_before
+        assert server.pool.replica_retries == retries_before
+
+    def test_unreplicated_kill_fails_riders_without_wedging(self):
+        """R=1 control: the kill is not absorbed, but nothing is lost either."""
+        rng = derive_rng("chaos-r1")
+        server = make_server(replication=1, num_devices=2)
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector().attach(server.pool)
+        injector.kill(allocation.shards[0][0].device_index)
+        futures = server.submit_batch(
+            "model", rng.integers(0, 8, size=(5, self.ROWS)), input_bits=3
+        )
+        server.run_until_idle()
+        assert all(f.done() for f in futures)
+        responses = [f.result() for f in futures]
+        assert {r.status for r in responses} == {"failed"}
+        assert all("DeviceFailedError" in r.error for r in responses)
+        assert server.stats.failed == 5
+        assert server.pending == 0  # scheduler alive, queue drained

@@ -87,6 +87,9 @@ class TestInjectionUnit:
         assert iiu.counter == 0
 
     def test_injection_saves_front_end_slots(self, small_tile):
+        # Injection targets must be reserved for analog output first --
+        # set_matrix does this in real flows (see RegisterLiveError).
+        small_tile.dce.reserve_pipeline(5)
         pipeline = small_tile.pipeline(5)
         iiu = InstructionInjectionUnit()
         costs, saved = iiu.inject_reduction(

@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import derive_rng
+
 from repro import ChipConfig, DevicePool, HctConfig, PumServer
 from repro.analog.bitslicing import slice_inputs, slice_inputs_tensor
 from repro.analog.compensation import ParasiticCompensation
@@ -69,7 +71,7 @@ SHAPE_CASES = {
 
 def run_engine(backend, preset, shape_case):
     shape, value_bits, bits_per_cell, input_bits, batch = shape_case
-    rng = np.random.default_rng(2024)
+    rng = derive_rng("kernels-1")
     magnitude = 2 ** (value_bits - 1)
     matrix = rng.integers(-magnitude, magnitude, size=shape)
     vectors = rng.integers(0, 2 ** input_bits, size=(batch, shape[0]))
@@ -110,7 +112,7 @@ class TestEngineEquivalence:
             assert np.array_equal(vec_result.values, vectors @ matrix)
 
     def test_raw_analog_path_bit_identical(self):
-        rng = np.random.default_rng(5)
+        rng = derive_rng("kernels-2")
         matrix = rng.integers(-8, 8, size=(16, 12))
         vectors = rng.integers(0, 16, size=(4, 16))
         outs = {}
@@ -151,7 +153,7 @@ class TestEngineEquivalence:
             resolve_backend("turbo")
 
     def test_slice_inputs_tensor_matches_slice_inputs(self):
-        rng = np.random.default_rng(9)
+        rng = derive_rng("kernels-3")
         vectors = rng.integers(0, 32, size=(5, 11))
         planes = slice_inputs_tensor(vectors, 5)
         listed = slice_inputs(vectors, 5)
@@ -206,7 +208,7 @@ class TestShardKernelCache:
 
 class TestRegisterMatrixMemoisation:
     def test_identical_reregistration_skips_programming(self):
-        rng = np.random.default_rng(3)
+        rng = derive_rng("kernels-4")
         matrix = rng.integers(-8, 8, size=(16, 16))
         server = PumServer(num_devices=2)
         first = server.register_matrix("m", matrix, element_size=4)
@@ -217,7 +219,7 @@ class TestRegisterMatrixMemoisation:
         assert server.pool.total_ledger().energy_pj == energy_after_first
 
     def test_changed_matrix_reprograms(self):
-        rng = np.random.default_rng(3)
+        rng = derive_rng("kernels-5")
         matrix = rng.integers(-8, 8, size=(16, 16))
         server = PumServer(num_devices=2)
         first = server.register_matrix("m", matrix, element_size=4)
@@ -251,7 +253,7 @@ class TestParallelFanout:
         )
 
     def test_parallel_exec_mvm_batch_matches_serial(self):
-        rng = np.random.default_rng(17)
+        rng = derive_rng("kernels-6")
         matrix = rng.integers(-100, 100, size=(96, 16))
         vectors = rng.integers(0, 256, size=(4, 96))
         results = {}
@@ -269,7 +271,7 @@ class TestParallelFanout:
         assert ledgers[True].energy_pj == ledgers[False].energy_pj
 
     def test_parallel_exec_requests_matches_serial(self):
-        rng = np.random.default_rng(23)
+        rng = derive_rng("kernels-7")
         matrices = [rng.integers(-8, 8, size=(12, 10)) for _ in range(3)]
         request_vectors = [rng.integers(0, 16, size=(3, 12)) for _ in range(3)]
         outputs = {}
@@ -287,7 +289,7 @@ class TestParallelFanout:
             assert np.array_equal(parallel_out, vectors @ matrix)
 
     def test_failing_device_propagates_after_joining_siblings(self):
-        rng = np.random.default_rng(53)
+        rng = derive_rng("kernels-8")
         matrix = rng.integers(-100, 100, size=(96, 16))
         pool = self._sharded_pool(parallel=True)
         allocation = pool.set_matrix(matrix, element_size=8, precision=0)
@@ -309,7 +311,7 @@ class TestParallelFanout:
         assert np.array_equal(out, vectors @ matrix)
 
     def test_backend_override_per_call(self):
-        rng = np.random.default_rng(29)
+        rng = derive_rng("kernels-9")
         matrix = rng.integers(-8, 8, size=(8, 8))
         vectors = rng.integers(0, 4, size=(2, 8))
         pool = DevicePool(num_devices=1, backend="reference")
@@ -334,7 +336,7 @@ class TestWorkloadEquivalence:
         }
 
     def test_aes_mixcolumns(self):
-        rng = np.random.default_rng(31)
+        rng = derive_rng("kernels-10")
         columns = rng.integers(0, 256, size=(8, 4)).astype(np.int64)
         outs = {}
         servers = self._servers()
@@ -348,9 +350,9 @@ class TestWorkloadEquivalence:
         assert ref_ledger.energy_breakdown == vec_ledger.energy_breakdown
 
     def test_cnn_conv(self):
-        rng = np.random.default_rng(37)
+        rng = derive_rng("kernels-11")
         conv = Conv2d(in_channels=2, out_channels=3, kernel=3,
-                      rng=np.random.default_rng(7))
+                      rng=derive_rng("kernels-12"))
         image = rng.normal(size=(1, 2, 6, 6))
         outs = {}
         for engine, server in self._servers().items():
@@ -359,7 +361,7 @@ class TestWorkloadEquivalence:
         assert np.array_equal(outs["reference"], outs["vectorized"])
 
     def test_llm_projection(self):
-        rng = np.random.default_rng(41)
+        rng = derive_rng("kernels-13")
         weight = rng.normal(size=(12, 8))
         activations = rng.normal(size=(5, 12))
         outs = {}
@@ -371,7 +373,7 @@ class TestWorkloadEquivalence:
 
 class TestBatchedHelpers:
     def test_parasitic_apply_batch_matches_loop(self):
-        rng = np.random.default_rng(43)
+        rng = derive_rng("kernels-14")
         model = ParasiticModel(wire_resistance_ohm=25.0)
         conductances = rng.uniform(1e-6, 1e-4, size=(8, 6))
         inputs = rng.integers(0, 2, size=(5, 8))
@@ -380,7 +382,7 @@ class TestBatchedHelpers:
             assert np.array_equal(batched[index], model.apply(conductances, inputs[index]))
 
     def test_compensation_apply_batch_matches_loop(self):
-        rng = np.random.default_rng(47)
+        rng = derive_rng("kernels-15")
         compensation = ParasiticCompensation()
         raw = rng.integers(-20, 20, size=(6, 9))
         inputs = rng.integers(0, 2, size=(6, 12))
@@ -393,7 +395,7 @@ class TestBatchedHelpers:
 
 class TestBitPlaneScratch:
     def test_slice_inputs_tensor_out_matches_allocation(self):
-        rng = np.random.default_rng(21)
+        rng = derive_rng("kernels-16")
         vectors = rng.integers(0, 32, size=(5, 11))
         fresh = slice_inputs_tensor(vectors, 5)
         scratch = np.empty((5, 5, 11), dtype=np.int64)
@@ -415,7 +417,7 @@ class TestBitPlaneScratch:
         tile = HybridComputeTile(HctConfig.small())
         matrix = np.arange(32, dtype=np.int64).reshape(8, 4) % 7
         handle = tile.set_matrix(matrix, value_bits=4)
-        rng = np.random.default_rng(3)
+        rng = derive_rng("kernels-17")
         for _ in range(3):
             vectors = rng.integers(0, 8, size=(4, 8))
             out = tile.execute_mvm_batch(

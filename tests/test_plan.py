@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import derive_rng
+
 from repro import ChipConfig, DevicePool, HctConfig, PumServer
 from repro.core.hct import HybridComputeTile
 from repro.errors import ConfigurationError
@@ -33,7 +35,7 @@ from repro.plan import (
 
 
 def _tile_with_matrix(noise=None):
-    rng = np.random.default_rng(2024)
+    rng = derive_rng("plan")
     matrix = rng.integers(-8, 8, size=(32, 24))
     tile = HybridComputeTile(HctConfig.small(), noise=noise)
     handle = tile.set_matrix(matrix, value_bits=4, bits_per_cell=1)
@@ -115,7 +117,7 @@ class TestPlanCacheLifecycle:
 
 class TestServingHotPathDoesNotPlan:
     def test_planner_runs_at_registration_only(self):
-        rng = np.random.default_rng(3)
+        rng = derive_rng("plan-3")
         matrix = rng.integers(-8, 8, size=(16, 16))
         server = PumServer(num_devices=2, max_batch=4, max_wait_ticks=1)
         assert server.planner_builds() == 0
@@ -135,7 +137,7 @@ class TestServingHotPathDoesNotPlan:
         assert server.planner_builds() == builds_after_registration
 
     def test_memoised_reregistration_keeps_plans_warm(self):
-        rng = np.random.default_rng(5)
+        rng = derive_rng("plan-5")
         matrix = rng.integers(-8, 8, size=(16, 16))
         server = PumServer(num_devices=2)
         first = server.register_matrix("m", matrix, element_size=4, input_bits=4)
@@ -147,7 +149,7 @@ class TestServingHotPathDoesNotPlan:
         assert server.planner_builds() == builds  # sha256 memo hit: no rebuild
 
     def test_sharded_plan_cached_and_invalidated(self):
-        rng = np.random.default_rng(17)
+        rng = derive_rng("plan-17")
         config = ChipConfig(hct=HctConfig.small(), num_hcts=2)
         pool = DevicePool(num_devices=3, config=config, policy="round_robin")
         matrix = rng.integers(-100, 100, size=(96, 16))
@@ -259,7 +261,7 @@ class TestDescribe:
         assert "more steps" not in full
 
     def test_sharded_plan_describe(self):
-        rng = np.random.default_rng(19)
+        rng = derive_rng("plan-19")
         config = ChipConfig(hct=HctConfig.small(), num_hcts=2)
         pool = DevicePool(num_devices=3, config=config, policy="round_robin")
         matrix = rng.integers(-100, 100, size=(96, 16))

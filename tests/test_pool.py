@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import derive_rng
+
 from repro.core import ChipConfig, HctConfig
 from repro.errors import AllocationError, NoDevicesError, QuantizationError
 from repro.runtime import (
@@ -18,7 +20,7 @@ from repro.runtime import (
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(99)
+    return derive_rng("pool")
 
 
 def tiny_pool(num_devices=3, num_hcts=3, policy="least_loaded"):
@@ -117,6 +119,128 @@ class TestPlacementPolicies:
             for _ in range(3)
         ]
         assert used == [[0], [1], [2]]
+
+
+class TestCacheAffinityCycles:
+    """Eviction/affinity decisions across repeated register/release cycles.
+
+    The policy was previously exercised only incidentally (one update per
+    test); serving reality is a churn of re-registrations and releases, and
+    the affinity decisions must stay stable -- and honest -- through it.
+    """
+
+    def test_affinity_survives_many_update_cycles(self):
+        pool = tiny_pool(policy="cache_affinity")
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        home = allocation.devices_used
+        for generation in range(8):
+            previous = allocation
+            pool.release(previous)
+            allocation = pool.set_matrix(
+                np.full((8, 8), generation, dtype=np.int64) % 4,
+                element_size=4, affinity=previous.devices_used,
+            )
+            assert allocation.devices_used == home, \
+                f"update {generation} migrated off the affine device"
+
+    def test_release_restores_affinity_capacity(self):
+        """Churn must not leak: capacity returns fully after each cycle."""
+        pool = tiny_pool(policy="cache_affinity")
+        for _ in range(6):
+            allocation = pool.set_matrix(
+                np.eye(8, dtype=np.int64), element_size=4
+            )
+            assert any(u > 0 for u in pool.utilization())
+            pool.release(allocation)
+            assert pool.utilization() == [0.0] * pool.num_devices
+        assert pool.allocations == []
+
+    def test_eviction_to_other_device_when_affine_device_fills(self):
+        pool = tiny_pool(policy="cache_affinity", num_devices=2)
+        first = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        home = first.devices_used[0]
+        # Fill the affine device, then ask for affinity to it anyway.
+        fillers = []
+        while pool.free_hcts(home) > 0:
+            fillers.append(
+                pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4,
+                                affinity=[home])
+            )
+        overflow = pool.set_matrix(
+            np.eye(8, dtype=np.int64), element_size=4, affinity=[home]
+        )
+        assert overflow.devices_used == [1 - home]  # fell back, not failed
+        # Releasing a filler re-opens the affine device for the next cycle.
+        pool.release(fillers[-1])
+        back_home = pool.set_matrix(
+            np.eye(8, dtype=np.int64), element_size=4, affinity=[home]
+        )
+        assert back_home.devices_used == [home]
+
+    def test_affinity_accumulates_across_shards(self, rng):
+        """Later shards of one allocation prefer devices of earlier shards."""
+        pool = tiny_pool(policy="cache_affinity", num_devices=3)
+        big = rng.integers(-8, 8, size=(100, 30))
+        allocation = pool.set_matrix(big, element_size=4, precision=0)
+        assert allocation.num_shards > 1
+        ordered = [shard.device_index for shard, _ in allocation.shards]
+        # Consecutive bands stay on one device until it fills (affinity
+        # pull), so the device sequence is sorted runs, not alternation.
+        runs = sum(
+            1 for a, b in zip(ordered, ordered[1:]) if a != b
+        )
+        assert runs == len(set(ordered)) - 1
+
+
+class TestReplication:
+    """Pool-level replication basics (failure handling lives in test_chaos)."""
+
+    def test_default_pools_are_unreplicated(self):
+        pool = tiny_pool()
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        assert pool.replication == 1
+        assert allocation.replication == 1
+        assert len(allocation.shards) == allocation.num_shards
+
+    def test_replicated_allocation_doubles_storage_not_bands(self, rng):
+        pool = tiny_pool(num_devices=3)
+        replicated = DevicePool(
+            num_devices=3,
+            config=ChipConfig(hct=HctConfig.small(), num_hcts=3),
+            replication=2,
+        )
+        matrix = rng.integers(-8, 8, size=(8, 8))
+        plain_alloc = pool.set_matrix(matrix, element_size=4)
+        repl_alloc = replicated.set_matrix(matrix, element_size=4)
+        assert repl_alloc.num_shards == plain_alloc.num_shards
+        assert len(repl_alloc.shards) == 2 * len(plain_alloc.shards)
+        assert len(repl_alloc.devices_used) == 2
+
+    def test_release_frees_replicas_too(self, rng):
+        pool = DevicePool(
+            num_devices=2,
+            config=ChipConfig(hct=HctConfig.small(), num_hcts=3),
+            replication=2,
+        )
+        allocation = pool.set_matrix(
+            rng.integers(-8, 8, size=(8, 8)), element_size=4
+        )
+        assert all(u > 0 for u in pool.utilization())
+        pool.release(allocation)
+        assert pool.utilization() == [0.0, 0.0]
+
+    def test_device_health_marks_and_restores(self):
+        pool = tiny_pool()
+        assert pool.device_health() == [True, True, True]
+        pool.mark_device_failed(1)
+        pool.mark_device_failed(1)  # idempotent
+        assert pool.failed_devices == [1]
+        assert pool.device_failures == 1
+        assert pool.device_health() == [True, False, True]
+        pool.restore_device(1)
+        pool.restore_device(1)
+        assert pool.failed_devices == []
+        assert pool.device_health() == [True, True, True]
 
 
 class TestSharding:
@@ -260,7 +384,7 @@ class TestClose:
 
 class TestEnergyTotals:
     def test_total_energy_pj_is_bit_identical_to_the_ledger_merge(self):
-        rng = np.random.default_rng(5)
+        rng = derive_rng("pool-energy")
         pool = DevicePool(num_devices=2)
         allocation = pool.set_matrix(
             rng.integers(-20, 20, size=(24, 8)), element_size=8

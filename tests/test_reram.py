@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+
+from repro.testing import derive_rng
 from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError, QuantizationError
@@ -96,14 +98,14 @@ class TestDriftAndStuckAt:
     def test_stuck_at_fault_count_matches_rate(self):
         params = DeviceParameters()
         model = StuckAtFaultModel(params, rate=0.5)
-        rng = np.random.default_rng(0)
+        rng = derive_rng("reram")
         model.build_fault_map((100, 100), rng)
         assert 3000 < model.fault_count < 7000
 
     def test_stuck_at_zero_rate_is_identity(self):
         model = StuckAtFaultModel(DeviceParameters(), rate=0.0)
         values = np.full((4, 4), 5e-5)
-        assert np.array_equal(model.apply(values, np.random.default_rng(0)), values)
+        assert np.array_equal(model.apply(values, derive_rng("reram")), values)
 
 
 class TestParasitics:

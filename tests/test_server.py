@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.testing import derive_rng
+
 from repro import PumServer, ThreadedServerDriver
 from repro.errors import AdmissionError, QuantizationError, SchedulerError
 from repro.metrics import percentile
@@ -22,7 +24,7 @@ from repro.workloads.cnn.layers import Conv2d
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(2026)
+    return derive_rng("server")
 
 
 def make_server(**kwargs):
