@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench plan-dump profile profile-server lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench sched-bench plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -62,6 +62,14 @@ chaos:
 # benchmarks job does) to also append to BENCH_recovery.json.
 recovery-bench:
 	$(PY) -m pytest benchmarks/test_recovery.py -q
+
+# Cost-aware scheduling gate (CostAwarePolicy beats StaticBatchingPolicy on
+# p99 latency AND deadline sheds at equal open-loop load; static-via-policy
+# bit-identical to legacy max_batch/max_wait_ticks kwargs).  Writes
+# benchmarks/artifacts/scheduling.json; set REPRO_BENCH_RECORD=1 (as the CI
+# benchmarks job does) to also append to BENCH_scheduling.json.
+sched-bench:
+	$(PY) -m pytest benchmarks/test_scheduling.py -q
 
 # Pretty-print a sample compiled execution plan (MvmPlan + ShardedPlan).
 plan-dump:

@@ -29,17 +29,26 @@ from .plan import (
     resolve_backend,
 )
 from .runtime.faults import FaultInjector, FaultSchedule
-from .runtime.pool import DevicePool
+from .runtime.pool import DevicePool, PredictedFinishTimePolicy
 from .runtime.queueing import IndexedRequestQueue, RequestQueue
+from .runtime.scheduling import (
+    Autotuner,
+    CostAwarePolicy,
+    SchedulingPolicy,
+    SloClass,
+    StaticBatchingPolicy,
+)
 from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BACKENDS",
+    "Autotuner",
     "BackendRegistry",
     "ChipConfig",
+    "CostAwarePolicy",
     "CostLedger",
     "DarthPumChip",
     "DarthPumDevice",
@@ -52,9 +61,13 @@ __all__ = [
     "IndexedRequestQueue",
     "MvmPlan",
     "Planner",
+    "PredictedFinishTimePolicy",
     "PumServer",
     "RequestQueue",
+    "SchedulingPolicy",
     "ShardedPlan",
+    "SloClass",
+    "StaticBatchingPolicy",
     "ThreadedServerDriver",
     "__version__",
     "resolve_backend",

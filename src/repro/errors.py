@@ -35,6 +35,10 @@ class AdmissionError(SchedulerError):
     """A request was refused admission (queue full, unknown matrix, ...)."""
 
 
+class SloError(SchedulerError):
+    """A service-level-objective class is unknown or inconsistently defined."""
+
+
 class MappingError(ReproError):
     """A workload cannot be mapped onto the requested hardware resources."""
 

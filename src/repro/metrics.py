@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Mapping
 __all__ = [
     "CostLedger",
     "CostSnapshot",
+    "ema",
     "merge_ledgers",
     "geometric_mean",
     "percentile",
@@ -171,6 +172,25 @@ def percentile_sorted(ordered: "list[float]", q: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
     return float(ordered[low]) * (1.0 - fraction) + float(ordered[high]) * fraction
+
+
+def ema(previous: "float | None", value: float, alpha: float) -> float:
+    """One exponential-moving-average step, seeding on the first observation.
+
+    The serving autotuner smooths its telemetry windows (batch fill, shed
+    rate) through this before nudging any knob, so a single quiet window
+    cannot whipsaw the scheduler.
+
+    >>> ema(None, 4.0, 0.5)
+    4.0
+    >>> ema(4.0, 8.0, 0.5)
+    6.0
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("ema() expects alpha in (0, 1]")
+    if previous is None:
+        return float(value)
+    return alpha * float(value) + (1.0 - alpha) * float(previous)
 
 
 def geometric_mean(values: Iterable[float]) -> float:

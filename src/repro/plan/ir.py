@@ -233,6 +233,25 @@ class PlanCostModel:
     max_shift: int
     #: Analog macro-steps per input vector.
     steps_per_vector: int
+    #: µops one ripple-carry ADD executes per bit position on this tile's
+    #: DCE (captured at plan-build time so the model can *predict* a batch
+    #: timeline without executing the reduction that normally supplies it).
+    add_uops_per_bit: float = 12.0
+
+    def predict(
+        self, batch: int, partials_per_vector: int, optimized: bool = True
+    ) -> Tuple[float, Dict[str, float]]:
+        """Predicted timeline of a ``batch``-vector MVM, no execution needed.
+
+        Reconstructs the pipelined ADD-stream shape the backends derive
+        while reducing (``n_adds = batch * partials_per_vector`` with the
+        tile's captured ``add_uops_per_bit``), so for a digital-reduction
+        tile the prediction equals the ``optimized_cycles`` a real dispatch
+        would report -- this is the closed-form oracle cost-aware
+        scheduling queries per candidate batch size.
+        """
+        n_adds = batch * partials_per_vector
+        return self.timeline(batch, n_adds, self.add_uops_per_bit, optimized)
 
     def timeline(
         self,
@@ -339,6 +358,57 @@ class MvmPlan:
     def num_partial_products(self) -> int:
         """Partial products one input vector produces."""
         return len(self.steps)
+
+    @property
+    def partials_per_vector(self) -> int:
+        """Partial products per input vector the digital reduction consumes."""
+        return sum(red.partials_per_vector for red in self.reduction)
+
+    def predicted_cycles(self, batch: int, optimized: bool = True) -> float:
+        """Predicted wall-clock cycles of a ``batch``-vector MVM (no execution).
+
+        Closed-form in the batch size through :meth:`PlanCostModel.predict`;
+        for a tile with digital post-processing the value equals the
+        ``optimized_cycles`` a real dispatch of the same batch reports, so
+        cost-aware scheduling and placement can price work before running it.
+
+        >>> import numpy as np
+        >>> from repro.core.hct import HybridComputeTile
+        >>> from repro.core.config import HctConfig
+        >>> tile = HybridComputeTile(HctConfig.small())
+        >>> handle = tile.set_matrix(np.eye(4, dtype=np.int64), value_bits=2)
+        >>> plan = tile.planner.plan_for(handle, input_bits=2)
+        >>> plan.predicted_cycles(8) > plan.predicted_cycles(1)
+        True
+        """
+        total, _ = self.cost.predict(batch, self.partials_per_vector, optimized)
+        return total
+
+    def predicted_energy_pj(self, batch: int) -> float:
+        """Predicted analog-phase energy of a ``batch``-vector MVM, in pJ.
+
+        Walks the shard kernel's per-tile periphery exactly the way the
+        analytic backends charge the analog phase (DAC drive, row periphery,
+        sample-and-hold, ADC conversion, once per input bit and weight
+        slice) -- but *without* executing or charging anything.  Digital
+        reduction energy is excluded; the analog phase dominates, which is
+        all a dispatch-now-vs-wait comparison needs.  First use builds the
+        allocation's shard kernel lazily (shared with the vectorized
+        backend's cache).
+        """
+        per_tile = 0.0
+        for tile in self.kernel.tiles:
+            sample = tile.crossbars[0]
+            _, adc_energy = sample.adc.conversion_costs(
+                tile.used_cols, sample.num_adcs, None
+            )
+            per_tile += (
+                sample.dac.drive_energy_pj(tile.used_rows)
+                + sample.row_periphery_power_mw * 1.0
+                + tile.used_cols * sample.sample_hold_energy_pj
+                + adc_energy
+            )
+        return self.input_bits * self.handle.num_slices * batch * per_tile
 
     def describe(self, max_steps: int = 12) -> str:
         """Human-readable rendering of the compiled schedule.

@@ -82,6 +82,7 @@ class Planner:
         sample = ace.crossbar(handle.array_ids[0])
         cols_per_tile = min(cols, array_cols)
         adc_latency = sample.adc.conversion_latency(cols_per_tile, sample.num_adcs, None)
+        output_base = tile._matrix_output_pipeline.get(handle.handle_id, 0)
         cost = PlanCostModel(
             per_step_analog=sample.dac.drive_latency(rows) + 1.0 + adc_latency,
             transfer=tile.shift_unit.transfer_cycles(cols_per_tile),
@@ -89,6 +90,9 @@ class Planner:
             depth=tile.config.dce.pipeline_depth,
             max_shift=shift_add.max_shift,
             steps_per_vector=shift_add.num_partial_products * handle.row_tiles,
+            # Captured now so PlanCostModel.predict matches the add stream
+            # the backends will derive when they actually reduce.
+            add_uops_per_bit=float(tile.dce.pipeline(output_base).add_uops_per_bit),
         )
 
         return MvmPlan(
@@ -99,7 +103,7 @@ class Planner:
             reduction=reduction,
             ace=ace,
             cost=cost,
-            output_base=tile._matrix_output_pipeline.get(handle.handle_id, 0),
+            output_base=output_base,
             accumulator_vr=0,
             staging_vrs=tuple(tile._staging_vrs()),
         )

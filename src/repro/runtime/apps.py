@@ -20,13 +20,13 @@ rather than the bit-level simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.config import HctConfig
 from ..core.hct import HybridComputeTile
-from ..errors import AdmissionError, MappingError
+from ..errors import AdmissionError, MappingError, SchedulerError
 from ..workloads.aes.mapping import (
     DarthPumAes,
     bits_to_columns,
@@ -41,6 +41,7 @@ from ..workloads.cnn.resnet import ResNet20
 from ..workloads.cnn.tensors import im2col
 from ..workloads.llm.encoder import EncoderConfig, TransformerEncoder
 from ..workloads.llm.mapping import LlmMapping
+from .scheduling import SchedulingPolicy, SloClass
 from .server import PumServer
 
 __all__ = [
@@ -184,11 +185,54 @@ class LlmSession:
 # ---------------------------------------------------------------------- #
 # Serving entry points: the three paper workloads through the PumServer   #
 # ---------------------------------------------------------------------- #
+# Every ``serve_*`` helper shares one keyword surface (defined once here,
+# applied by ``_serving_context``):
+#
+# ``server``       -- an existing :class:`PumServer`, or ``None`` to have the
+#                     helper construct one from the keywords below.
+# ``slo``          -- SLO class (name or :class:`SloClass`) every submitted
+#                     request carries (deadline + shed priority).
+# ``scheduling``   -- scheduling policy (name or
+#                     :class:`~repro.runtime.scheduling.SchedulingPolicy`)
+#                     of the constructed server.
+# ``backend``      -- execution backend of the constructed server.
+# ``replication``  -- row-band replication factor of the constructed pool.
+# ``num_devices``  -- devices in the constructed pool (default 2).
+#
+# The construction keywords configure the server the helper builds; passing
+# any of them *alongside* an existing ``server`` is ambiguous and raises
+# :class:`~repro.errors.SchedulerError` (configure the server yourself
+# instead).  ``slo`` applies either way.
+def _serving_context(
+    server: Optional[PumServer],
+    *,
+    scheduling: Union[None, str, SchedulingPolicy] = None,
+    backend=None,
+    replication: int = 1,
+    num_devices: int = 2,
+) -> PumServer:
+    """Resolve the shared ``serve_*`` keywords into the server to use."""
+    if server is None:
+        return PumServer(
+            num_devices=num_devices, backend=backend,
+            replication=replication, scheduling=scheduling,
+        )
+    if scheduling is not None or backend is not None \
+            or replication != 1 or num_devices != 2:
+        raise SchedulerError(
+            "scheduling/backend/replication/num_devices configure the server "
+            "a serve_* helper constructs; pass server=None to use them, or "
+            "configure your own PumServer and pass that instead"
+        )
+    return server
+
+
 def _serve_all(
     server: PumServer,
     name: str,
     vectors: np.ndarray,
     input_bits: int,
+    slo: Union[None, str, SloClass] = None,
 ) -> np.ndarray:
     """Submit the vectors through the bulk-ingress path and gather results.
 
@@ -207,7 +251,7 @@ def _serve_all(
     wave = server.batching.queue_capacity
     for start in range(0, len(vectors), wave):
         futures = server.submit_batch(
-            name, vectors[start: start + wave], input_bits=input_bits
+            name, vectors[start: start + wave], input_bits=input_bits, slo=slo
         )
         server.run_until_idle()
         for future in futures:
@@ -228,6 +272,7 @@ def _submit_shifted(
     vectors: np.ndarray,
     column_sums: np.ndarray,
     input_bits: int,
+    slo: Union[None, str, SloClass] = None,
 ) -> np.ndarray:
     """Push signed vectors through the server's non-negative MVM path.
 
@@ -241,14 +286,20 @@ def _submit_shifted(
     vectors = np.asarray(vectors, dtype=np.int64)
     offsets = np.maximum(0, -vectors.min(axis=1))
     shifted = vectors + offsets[:, None]
-    raw = _serve_all(server, name, shifted, input_bits)
+    raw = _serve_all(server, name, shifted, input_bits, slo=slo)
     return raw - offsets[:, None] * column_sums[None, :]
 
 
 def serve_aes_mixcolumns(
-    server: PumServer,
+    server: Optional[PumServer],
     columns: np.ndarray,
     matrix_name: str = "aes.mixcolumns",
+    *,
+    slo: Union[None, str, SloClass] = None,
+    scheduling: Union[None, str, SchedulingPolicy] = None,
+    backend=None,
+    replication: int = 1,
+    num_devices: int = 2,
 ) -> np.ndarray:
     """AES MixColumns for ``(n, 4)`` state columns through the server.
 
@@ -256,34 +307,50 @@ def serve_aes_mixcolumns(
     the runtime computes ``x @ M``), submits one 32-bit request per column,
     and extracts the output parity bits -- the same mapping
     :class:`~repro.workloads.aes.mapping.DarthPumAes` uses on a single
-    tile, but scheduled across the pool by dynamic batching.
+    tile, but scheduled across the pool by dynamic batching.  Accepts the
+    shared serving keywords documented at the section header above.
     """
+    server = _serving_context(
+        server, scheduling=scheduling, backend=backend,
+        replication=replication, num_devices=num_devices,
+    )
     if matrix_name not in server.matrix_names:
         server.register_matrix(
             matrix_name, mixcolumns_bit_matrix().T.copy(), element_size=1,
             input_bits=1,
         )
     bit_vectors = columns_to_bits(columns)
-    parity = _serve_all(server, matrix_name, bit_vectors, input_bits=1) & 1
+    parity = _serve_all(server, matrix_name, bit_vectors, input_bits=1, slo=slo) & 1
     return bits_to_columns(parity)
 
 
 def serve_cnn_conv(
-    server: PumServer,
+    server: Optional[PumServer],
     conv: Conv2d,
     image: np.ndarray,
     positions: int = 8,
     weight_bits: int = 6,
     activation_bits: int = 6,
     matrix_name: str = "cnn.conv",
+    *,
+    slo: Union[None, str, SloClass] = None,
+    scheduling: Union[None, str, SchedulingPolicy] = None,
+    backend=None,
+    replication: int = 1,
+    num_devices: int = 2,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Serve ``positions`` output positions of a convolution.
 
     The quantised Toeplitz weight matrix is registered once; every im2col
     patch becomes one single-vector request.  Returns
     ``(device_result, reference_result)`` as dequantised floats, mirroring
-    :func:`~repro.workloads.cnn.mapping.run_conv_on_tile`.
+    :func:`~repro.workloads.cnn.mapping.run_conv_on_tile`.  Accepts the
+    shared serving keywords documented at the section header above.
     """
+    server = _serving_context(
+        server, scheduling=scheduling, backend=backend,
+        replication=replication, num_devices=num_devices,
+    )
     image = np.asarray(image)
     if image.ndim != 4:
         raise MappingError("serve_cnn_conv expects an NCHW image batch")
@@ -297,7 +364,7 @@ def serve_cnn_conv(
     )
     corrected = _submit_shifted(
         server, matrix_name, q_patches.values,
-        q_weight.values.sum(axis=0), input_bits=activation_bits + 1,
+        q_weight.values.sum(axis=0), input_bits=activation_bits + 1, slo=slo,
     )
     device = corrected.astype(float) * q_weight.scale * q_patches.scale
     count = corrected.shape[0]
@@ -305,19 +372,31 @@ def serve_cnn_conv(
 
 
 def serve_llm_projection(
-    server: PumServer,
+    server: Optional[PumServer],
     weight: np.ndarray,
     activations: np.ndarray,
     weight_bits: int = 6,
     activation_bits: int = 6,
     matrix_name: str = "llm.projection",
+    *,
+    slo: Union[None, str, SloClass] = None,
+    scheduling: Union[None, str, SchedulingPolicy] = None,
+    backend=None,
+    replication: int = 1,
+    num_devices: int = 2,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Serve a ``(token, hidden)`` projection, one request per token.
 
     Mirrors :func:`~repro.workloads.llm.mapping.run_projection_on_tile`
     but lets the server's scheduler coalesce the token stream into batches.
     Returns ``(device_result, reference_result)`` as dequantised floats.
+    Accepts the shared serving keywords documented at the section header
+    above.
     """
+    server = _serving_context(
+        server, scheduling=scheduling, backend=backend,
+        replication=replication, num_devices=num_devices,
+    )
     weight = np.asarray(weight, dtype=float)
     activations = np.asarray(activations, dtype=float)
     if activations.ndim != 2 or weight.ndim != 2:
@@ -330,7 +409,7 @@ def serve_llm_projection(
     )
     corrected = _submit_shifted(
         server, matrix_name, q_activations.values,
-        q_weight.values.sum(axis=0), input_bits=activation_bits + 1,
+        q_weight.values.sum(axis=0), input_bits=activation_bits + 1, slo=slo,
     )
     device = corrected.astype(float) * q_weight.scale * q_activations.scale
     return device, activations @ weight

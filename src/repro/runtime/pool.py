@@ -6,8 +6,9 @@ Table 1 calls across ``N`` devices the same way multi-node machines scale by
 sharding work across identical compute tiles:
 
 * ``set_matrix`` places each matrix on the device chosen by the pluggable
-  :class:`PlacementPolicy` (``"round_robin"``, ``"least_loaded"``, or
-  ``"cache_affinity"``); a matrix too large for any single chip is
+  :class:`PlacementPolicy` (``"round_robin"``, ``"least_loaded"``,
+  ``"cache_affinity"``, or the cost-model-driven
+  ``"predicted_finish_time"``); a matrix too large for any single chip is
   *row-sharded* across several devices, each holding a contiguous band of
   rows.
 * ``exec_mvm`` / ``exec_mvm_batch`` split the input vector(s) along the
@@ -58,6 +59,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "PlacementPolicy",
     "PooledAllocation",
+    "PredictedFinishTimePolicy",
     "RoundRobinPolicy",
     "Shard",
     "make_placement_policy",
@@ -152,6 +154,14 @@ class PlacementPolicy:
 
     name = "base"
 
+    def bind(self, pool: "DevicePool") -> None:
+        """Attach the owning pool (no-op by default).
+
+        Load-model policies (:class:`PredictedFinishTimePolicy`) need to
+        query the pool's live allocations when choosing; the pool calls
+        this once at construction and once per policy swap.
+        """
+
     def choose(
         self,
         free: Sequence[int],
@@ -239,6 +249,47 @@ class CacheAffinityPolicy(PlacementPolicy):
         return LeastLoadedPolicy.choose(self, free, needed, placed_devices)
 
 
+class PredictedFinishTimePolicy(PlacementPolicy):
+    """Place each band on the device predicted to finish its work first.
+
+    Where :class:`LeastLoadedPolicy` counts free HCTs -- a *capacity* proxy
+    -- this policy prices each candidate device by the summed
+    :meth:`~repro.plan.ir.MvmPlan.predicted_cycles` of the allocations
+    already resident on it (:meth:`DevicePool.predicted_device_finish_cycles`):
+    the cost model's estimate of how long the device needs to serve one
+    round of its outstanding matrices.  A device hosting one huge matrix
+    stops looking as attractive as one hosting three tiny ones just because
+    their HCT counts happen to match.  Ties break toward the most free
+    HCTs, then the lowest index; before :meth:`bind` (or on an empty pool)
+    it degrades to exactly least-loaded.
+    """
+
+    name = "predicted_finish_time"
+
+    def __init__(self) -> None:
+        self._pool: Optional["DevicePool"] = None
+
+    def bind(self, pool: "DevicePool") -> None:
+        self._pool = pool
+
+    def choose(
+        self,
+        free: Sequence[int],
+        needed: int,
+        placed_devices: Sequence[int],
+    ) -> Optional[int]:
+        candidates = [i for i in range(len(free)) if free[i] >= needed]
+        if not candidates:
+            return None
+        pool = self._pool
+        if pool is None:
+            return max(candidates, key=lambda i: (free[i], -i))
+        return min(
+            candidates,
+            key=lambda i: (pool.predicted_device_finish_cycles(i), -free[i], i),
+        )
+
+
 def make_placement_policy(policy: Union[str, PlacementPolicy]) -> PlacementPolicy:
     """Resolve a policy name (or pass through a policy instance)."""
     if isinstance(policy, PlacementPolicy):
@@ -247,6 +298,7 @@ def make_placement_policy(policy: Union[str, PlacementPolicy]) -> PlacementPolic
         "round_robin": RoundRobinPolicy,
         "least_loaded": LeastLoadedPolicy,
         "cache_affinity": CacheAffinityPolicy,
+        "predicted_finish_time": PredictedFinishTimePolicy,
     }
     if policy not in factories:
         raise AllocationError(
@@ -285,7 +337,8 @@ class DevicePool:
         ``"least_loaded"`` (default) places new matrices on the device with
         the most free HCTs; ``"round_robin"`` cycles through the devices;
         ``"cache_affinity"`` keeps an allocation's shards on as few devices
-        as possible.
+        as possible; ``"predicted_finish_time"`` prices devices by the
+        plan-cost-model load of the matrices already resident on them.
     backend:
         Default execution backend for every device MVM issued by this pool
         (a name from the :class:`~repro.plan.backends.BackendRegistry` or
@@ -310,7 +363,9 @@ class DevicePool:
         ``num_devices`` (:class:`~repro.errors.ReplicationError`).
     """
 
-    POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+    POLICIES = (
+        "round_robin", "least_loaded", "cache_affinity", "predicted_finish_time"
+    )
 
     def __init__(
         self,
@@ -336,6 +391,7 @@ class DevicePool:
         if self.replication > num_devices:
             raise ReplicationError(self.replication, num_devices)
         self.placement_policy = make_placement_policy(policy)
+        self.placement_policy.bind(self)
         self.devices: List[DarthPumDevice] = [
             DarthPumDevice(config=config, noise=noise) for _ in range(num_devices)
         ]
@@ -562,6 +618,73 @@ class DevicePool:
     def planner_builds(self) -> int:
         """Execution plans compiled across every device in the pool."""
         return sum(device.planner_builds() for device in self.devices)
+
+    # ------------------------------------------------------------------ #
+    # Predicted-cost oracle                                                #
+    # ------------------------------------------------------------------ #
+    def predicted_batch_cycles(
+        self, allocation: PooledAllocation, batch: int, input_bits: int = 8
+    ) -> float:
+        """Predicted cycles of one ``batch`` dispatch against ``allocation``.
+
+        Closed-form evaluation of the cached tile-level plan cost models:
+        a device's shards execute serially on that device, devices run
+        concurrently, so the prediction is the *max over devices* of each
+        device's summed shard cost -- the critical path of the fan-out.
+        No device work, no planning (plans were compiled at registration).
+        """
+        plan = self.sharded_plan(allocation)
+        per_device: Dict[int, float] = {}
+        for task in plan.tasks:
+            per_device[task.device_index] = per_device.get(
+                task.device_index, 0.0
+            ) + self.devices[task.device_index].predicted_mvm_cycles(
+                task.device_allocation, batch, input_bits=input_bits
+            )
+        return max(per_device.values())
+
+    def predicted_batch_energy_pj(
+        self, allocation: PooledAllocation, batch: int, input_bits: int = 8
+    ) -> float:
+        """Predicted analog-phase energy (pJ) of one ``batch`` dispatch.
+
+        Energy adds across devices (unlike the cycle critical path), so
+        this is the plain sum over the allocation's primary shards.
+        """
+        plan = self.sharded_plan(allocation)
+        return sum(
+            self.devices[task.device_index].predicted_mvm_energy_pj(
+                task.device_allocation, batch, input_bits=input_bits
+            )
+            for task in plan.tasks
+        )
+
+    def predicted_device_finish_cycles(
+        self, device_index: int, batch: int = 1
+    ) -> float:
+        """Predicted cycles for ``device_index`` to serve one round of work.
+
+        Sums the predicted single-round cost of every live allocation's
+        primary shards resident on the device -- the load model behind
+        :class:`PredictedFinishTimePolicy`.  Each allocation is priced at
+        the smallest precision it was compiled for (8 bits before any
+        ``compile``), matching the traffic it is expected to serve.
+        """
+        total = 0.0
+        device = self.devices[device_index]
+        for allocation in self._allocations.values():
+            plan = self._sharded_plans.get(allocation.allocation_id)
+            input_bits = (
+                min(plan.prepared_input_bits)
+                if plan is not None and plan.prepared_input_bits
+                else 8
+            )
+            for shard, device_allocation in allocation.shards:
+                if shard.device_index == device_index and shard.replica == 0:
+                    total += device.predicted_mvm_cycles(
+                        device_allocation, batch, input_bits=input_bits
+                    )
+        return total
 
     # ------------------------------------------------------------------ #
     # Device health and replica failover                                   #

@@ -22,9 +22,19 @@ side by side:
 Both implementations resolve scheduling ties through the same total orders
 (batch order ``(-priority, arrival_tick, request_id)``, victim order
 ``(priority, arrival_tick, request_id)``), so they dispatch bit-identical
-batches in bit-identical order; only the asymptotics differ.  The ``scans``
-counter records every full-queue pass a queue performs, which is how tests
-prove the indexed tick loop stays flat in queue depth.
+batches in bit-identical order; only the asymptotics differ.  (A
+:class:`~repro.runtime.scheduling.SchedulingPolicy` may hand ``victim`` an
+*explicit* order -- cost-priced shedding -- but the default stays the
+shared total order above.)  The ``scans`` counter records every full-queue
+pass a queue performs, which is how tests prove the indexed tick loop
+stays flat in queue depth.
+
+Cost-aware scheduling additionally needs a *group-level* deadline view:
+``group_keys()`` enumerates the live groups and ``min_deadline(key)``
+returns the tightest absolute deadline among a group's members.  The
+indexed queue answers both without scanning requests (per-group lazy
+deadline heaps, maintained alongside the global shedding heap); the flat
+baseline scans, as it does for everything else.
 
 >>> import numpy as np
 >>> from repro.runtime.queueing import IndexedRequestQueue
@@ -131,13 +141,30 @@ class RequestQueue:
         """Ticks the oldest live request of ``key`` has waited (-1 if empty)."""
         raise NotImplementedError
 
+    def group_keys(self) -> List[GroupKey]:
+        """Every group with at least one live request (stable order)."""
+        raise NotImplementedError
+
+    def min_deadline(self, key: GroupKey) -> Optional[int]:
+        """Tightest absolute deadline among ``key``'s live requests.
+
+        ``None`` when the group is empty or none of its members carry a
+        deadline.
+        """
+        raise NotImplementedError
+
     def take(self, key: GroupKey, max_batch: int) -> List["Request"]:
         """Remove and return up to ``max_batch`` requests of ``key`` in
         dispatch order (:func:`batch_order`)."""
         raise NotImplementedError
 
-    def victim(self) -> Optional["Request"]:
-        """The queued request first in :func:`victim_order` (not removed)."""
+    def victim(self, order=None) -> Optional["Request"]:
+        """The queued request first in victim order (not removed).
+
+        ``order`` defaults to the shared :func:`victim_order` total order;
+        a scheduling policy may supply its own key function (cost-priced
+        shedding) without the queue knowing anything about costs.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -171,6 +198,10 @@ class IndexedRequestQueue(RequestQueue):
         #: only genuinely mixed-priority groups pay a sort.
         self._priorities: Dict[GroupKey, Dict[int, int]] = {}
         self._deadlines: List[Tuple[int, int]] = []
+        #: Per-group lazy min-heaps of ``(deadline, request_id)``.  Ids are
+        #: never reused and deadlines never change, so dead entries can be
+        #: skipped lazily exactly like the global shedding heap's.
+        self._group_deadlines: Dict[GroupKey, List[Tuple[int, int]]] = {}
 
     def __len__(self) -> int:
         return len(self._requests)
@@ -183,7 +214,9 @@ class IndexedRequestQueue(RequestQueue):
         counts = self._priorities.setdefault(key, {})
         counts[request.priority] = counts.get(request.priority, 0) + 1
         if request.deadline is not None:
-            heapq.heappush(self._deadlines, (request.deadline, request.request_id))
+            entry = (request.deadline, request.request_id)
+            heapq.heappush(self._deadlines, entry)
+            heapq.heappush(self._group_deadlines.setdefault(key, []), entry)
 
     def push_wave(self, requests: List["Request"]) -> None:
         if not requests:
@@ -199,10 +232,11 @@ class IndexedRequestQueue(RequestQueue):
         counts = self._priorities.setdefault(key, {})
         counts[first.priority] = counts.get(first.priority, 0) + count
         if first.deadline is not None:
+            group_heap = self._group_deadlines.setdefault(key, [])
             for request in requests:
-                heapq.heappush(
-                    self._deadlines, (request.deadline, request.request_id)
-                )
+                entry = (request.deadline, request.request_id)
+                heapq.heappush(self._deadlines, entry)
+                heapq.heappush(group_heap, entry)
 
     def _forget(self, key: GroupKey, request: "Request") -> None:
         """Update the group counters for one removed request."""
@@ -223,6 +257,7 @@ class IndexedRequestQueue(RequestQueue):
             self._live.pop(key, None)
             self._groups.pop(key, None)
             self._priorities.pop(key, None)
+            self._group_deadlines.pop(key, None)
 
     def discard(self, request_id: int) -> Optional["Request"]:
         request = self._requests.pop(request_id, None)
@@ -264,6 +299,7 @@ class IndexedRequestQueue(RequestQueue):
                 self._live.pop(key, None)
                 self._groups.pop(key, None)
                 self._priorities.pop(key, None)
+                self._group_deadlines.pop(key, None)
                 continue
             if pending >= max_batch or now - front.arrival_tick >= max_wait_ticks:
                 ready.append((front.arrival_tick, key))
@@ -278,6 +314,24 @@ class IndexedRequestQueue(RequestQueue):
         if front is None:
             return -1
         return now - front.arrival_tick
+
+    def group_keys(self) -> List[GroupKey]:
+        # The live-count index is maintained exactly, so this is O(groups)
+        # and never increments ``scans``.
+        return [key for key, live in self._live.items() if live > 0]
+
+    def min_deadline(self, key: GroupKey) -> Optional[int]:
+        heap = self._group_deadlines.get(key)
+        if not heap:
+            return None
+        requests = self._requests
+        while heap:
+            deadline, request_id = heap[0]
+            if request_id in requests:
+                return deadline
+            heapq.heappop(heap)
+        self._group_deadlines.pop(key, None)
+        return None
 
     def take(self, key: GroupKey, max_batch: int) -> List["Request"]:
         ids = self._groups.get(key)
@@ -306,6 +360,7 @@ class IndexedRequestQueue(RequestQueue):
                     self._live.pop(key, None)
                     self._groups.pop(key, None)
                     self._priorities.pop(key, None)
+                    self._group_deadlines.pop(key, None)
             return chosen
         # Mixed priorities: fall back to the shared dispatch sort over the
         # group's live members (still touches only this group).
@@ -321,14 +376,14 @@ class IndexedRequestQueue(RequestQueue):
             )
         return chosen
 
-    def victim(self) -> Optional["Request"]:
+    def victim(self, order=None) -> Optional["Request"]:
         if not self._requests:
             return None
         # Admission control only engages when the queue is at capacity, so
         # this O(pending) pass is bounded by queue_capacity and never runs
         # in the tick loop; it is still an honest full-queue scan.
         self.scans += 1
-        return min(self._requests.values(), key=victim_order)
+        return min(self._requests.values(), key=order or victim_order)
 
 
 class FlatRequestQueue(RequestQueue):
@@ -402,6 +457,19 @@ class FlatRequestQueue(RequestQueue):
             return -1
         return now - min(r.arrival_tick for r in members)
 
+    def group_keys(self) -> List[GroupKey]:
+        self.scans += 1
+        seen: Dict[GroupKey, None] = {}
+        for request in self._queue:
+            seen.setdefault((request.name, request.input_bits), None)
+        return list(seen)
+
+    def min_deadline(self, key: GroupKey) -> Optional[int]:
+        deadlines = [
+            r.deadline for r in self._members(key) if r.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
     def take(self, key: GroupKey, max_batch: int) -> List["Request"]:
         members = self._members(key)
         members.sort(key=batch_order)
@@ -410,11 +478,11 @@ class FlatRequestQueue(RequestQueue):
             self._queue.remove(request)
         return batch
 
-    def victim(self) -> Optional["Request"]:
+    def victim(self, order=None) -> Optional["Request"]:
         if not self._queue:
             return None
         self.scans += 1
-        return min(self._queue, key=victim_order)
+        return min(self._queue, key=order or victim_order)
 
 
 def make_request_queue(queue: Union[str, RequestQueue]) -> RequestQueue:

@@ -13,11 +13,20 @@ before they reach the chips.  :class:`PumServer` is that layer:
   the caller's array;
 * an indexed queue (:mod:`~repro.runtime.queueing`) feeds a deterministic
   simulated-clock scheduler loop: every :meth:`PumServer.tick` coalesces
-  compatible requests (same matrix, same input precision) into one
-  ``exec_mvm_batch`` call once a batch fills (``max_batch``) or the oldest
-  request has waited ``max_wait_ticks``.  The tick loop is O(ready work):
-  readiness, deadline shedding, and dispatch never scan requests outside
-  the group being dispatched (``queue_scans()`` proves it stays flat);
+  compatible requests (same matrix, same input precision) into
+  ``exec_mvm_batch`` calls.  *When* a group dispatches is decided by a
+  pluggable :class:`~repro.runtime.scheduling.SchedulingPolicy` -- the
+  default :class:`~repro.runtime.scheduling.StaticBatchingPolicy`
+  reproduces the classic knob pair (dispatch once a batch fills
+  (``max_batch``) or the oldest request has waited ``max_wait_ticks``)
+  bit-identically, while
+  :class:`~repro.runtime.scheduling.CostAwarePolicy` consults the cached
+  plan cost models (:meth:`PumServer.predicted_batch_cycles`) and each
+  group's tightest deadline slack.  Requests may carry an SLO class
+  (``submit(slo="interactive")``) instead of hand-computed deadlines.
+  The tick loop is O(ready work): readiness, deadline shedding, and
+  dispatch never scan requests outside the group being dispatched
+  (``queue_scans()`` proves it stays flat);
 * dispatched batches are assembled without copying the big tensors:
   contiguous runs admitted by ``submit_batch`` are sliced straight out of
   the caller's array, and everything else is gathered into a reusable
@@ -51,6 +60,7 @@ from ..metrics import percentile_sorted
 from ..plan.backends import ExecutionBackend
 from .pool import DevicePool, PooledAllocation
 from .queueing import GroupKey, RequestQueue, make_request_queue
+from .scheduling import SchedulingPolicy, SloClass, make_scheduling_policy, resolve_slo
 
 __all__ = [
     "BatchingConfig",
@@ -189,6 +199,12 @@ class BatchingConfig:
     beyond it.  ``admission``: ``"reject"`` turns the newcomer away;
     ``"shed_lowest"`` evicts the lowest-priority queued request instead when
     the newcomer outranks it.
+
+    Since scheduling became a pluggable policy the *live* batching knobs
+    are ``server.scheduling.max_batch`` / ``.max_wait_ticks`` (an
+    :class:`~repro.runtime.scheduling.Autotuner` nudges them at runtime);
+    this frozen config records the values the server was constructed with,
+    plus the admission knobs the server itself still owns.
     """
 
     max_batch: int = 16
@@ -356,13 +372,14 @@ class PumServer:
         pool: Optional[DevicePool] = None,
         num_devices: int = 2,
         policy: str = "cache_affinity",
-        max_batch: int = 16,
-        max_wait_ticks: int = 4,
+        max_batch: Optional[int] = None,
+        max_wait_ticks: Optional[int] = None,
         queue_capacity: int = 64,
         admission: str = "reject",
         backend: Union[None, str, ExecutionBackend] = None,
         queue: Union[str, RequestQueue] = "indexed",
         replication: int = 1,
+        scheduling: Union[None, str, SchedulingPolicy] = None,
     ) -> None:
         self.pool = pool if pool is not None else DevicePool(
             num_devices=num_devices, policy=policy, backend=backend,
@@ -373,9 +390,17 @@ class PumServer:
         #: sharing one pool can run different backends without mutating the
         #: shared pool.
         self.backend = backend
+        #: When each group dispatches: a pluggable
+        #: :class:`~repro.runtime.scheduling.SchedulingPolicy`.  The legacy
+        #: ``max_batch=`` / ``max_wait_ticks=`` kwargs construct the
+        #: bit-identical :class:`StaticBatchingPolicy` when no policy (or a
+        #: policy *name*) is given.
+        self.scheduling = make_scheduling_policy(
+            scheduling, max_batch=max_batch, max_wait_ticks=max_wait_ticks
+        )
         self.batching = BatchingConfig(
-            max_batch=max_batch,
-            max_wait_ticks=max_wait_ticks,
+            max_batch=self.scheduling.max_batch,
+            max_wait_ticks=getattr(self.scheduling, "max_wait_ticks", 4),
             queue_capacity=queue_capacity,
             admission=admission,
         )
@@ -393,6 +418,10 @@ class PumServer:
         self._fingerprints: Dict[str, Tuple[str, Tuple[int, ...], int, int]] = {}
         #: Reusable batch-assembly buffers, keyed (allocation_id, input_bits).
         self._arenas: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Predicted batch cost memos, keyed (allocation_id, input_bits,
+        #: batch); invalidated with the arenas when a matrix is replaced.
+        self._cost_cache: Dict[Tuple[int, int, int], float] = {}
+        self._energy_cache: Dict[Tuple[int, int, int], float] = {}
         self._next_request = 0
 
     # ------------------------------------------------------------------ #
@@ -447,6 +476,10 @@ class PumServer:
                 for key in [k for k in self._arenas
                             if k[0] == previous.allocation_id]:
                     del self._arenas[key]
+                for cache in (self._cost_cache, self._energy_cache):
+                    for key in [k for k in cache
+                                if k[0] == previous.allocation_id]:
+                        del cache[key]
             allocation = self.pool.set_matrix(
                 matrix, element_size=element_size, precision=precision,
                 affinity=affinity,
@@ -483,8 +516,66 @@ class PumServer:
             return self._matrices[name]
 
     # ------------------------------------------------------------------ #
+    # Predicted-cost oracle                                                #
+    # ------------------------------------------------------------------ #
+    def predicted_batch_cycles(
+        self, name: str, input_bits: int, batch: int
+    ) -> float:
+        """Predicted cycles of dispatching ``batch`` requests of ``name``.
+
+        Closed-form evaluation of the cached plan cost models
+        (:meth:`~repro.plan.ir.MvmPlan.predicted_cycles`) -- no execution,
+        no planning (registration compiled the plans), and each
+        ``(matrix, input_bits, batch)`` triple is memoised so the
+        scheduling hot path costs one dict probe.
+        """
+        allocation = self.allocation_for(name)
+        key = (allocation.allocation_id, int(input_bits), int(batch))
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cached = self.pool.predicted_batch_cycles(
+                allocation, batch, input_bits=input_bits
+            )
+            self._cost_cache[key] = cached
+        return cached
+
+    def predicted_batch_energy_pj(
+        self, name: str, input_bits: int, batch: int
+    ) -> float:
+        """Predicted analog-phase energy (pJ) of one ``batch`` dispatch."""
+        allocation = self.allocation_for(name)
+        key = (allocation.allocation_id, int(input_bits), int(batch))
+        cached = self._energy_cache.get(key)
+        if cached is None:
+            cached = self.pool.predicted_batch_energy_pj(
+                allocation, batch, input_bits=input_bits
+            )
+            self._energy_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
     # Admission                                                            #
     # ------------------------------------------------------------------ #
+    def _apply_slo(
+        self,
+        slo: Union[None, str, SloClass],
+        priority: int,
+        deadline: Optional[int],
+    ) -> Tuple[int, Optional[int]]:
+        """Resolve an SLO class into the (priority, deadline) pair to admit.
+
+        Explicit arguments win: an SLO only fills in a deadline the caller
+        did not pass and a priority the caller left at the default 0.
+        """
+        resolved = resolve_slo(slo)
+        if resolved is None:
+            return priority, deadline
+        if deadline is None:
+            deadline = resolved.deadline_for(self.now)
+        if priority == 0:
+            priority = resolved.shed_priority
+        return priority, deadline
+
     def submit(
         self,
         name: str,
@@ -492,16 +583,21 @@ class PumServer:
         input_bits: int = 8,
         priority: int = 0,
         deadline: Optional[int] = None,
+        slo: Union[None, str, SloClass] = None,
     ) -> ServerFuture:
         """Admit one single-vector MVM request and return its future.
 
         ``priority`` orders requests within a batch window (higher first);
         ``deadline`` is an absolute tick after which the request is shed
-        rather than executed.  When the queue is at capacity the admission
-        mode decides between rejecting the newcomer and shedding the
-        lowest-priority queued request.
+        rather than executed.  ``slo`` names a service-level class
+        (``"interactive"`` / ``"standard"`` / ``"batch"``, or any
+        :class:`~repro.runtime.scheduling.SloClass`) that fills in the
+        deadline and priority the caller did not pass explicitly.  When the
+        queue is at capacity the admission mode decides between rejecting
+        the newcomer and shedding the lowest-priority queued request.
         """
         with self._lock:
+            priority, deadline = self._apply_slo(slo, priority, deadline)
             allocation = self.allocation_for(name)
             vector = np.asarray(vector, dtype=np.int64)
             rows, _ = allocation.shape
@@ -538,6 +634,7 @@ class PumServer:
         input_bits: int = 8,
         priority: int = 0,
         deadline: Optional[int] = None,
+        slo: Union[None, str, SloClass] = None,
     ) -> List[ServerFuture]:
         """Admit a whole ``(n, rows)`` array of single-vector requests at once.
 
@@ -568,6 +665,7 @@ class PumServer:
         True
         """
         with self._lock:
+            priority, deadline = self._apply_slo(slo, priority, deadline)
             allocation = self.allocation_for(name)
             rows, _ = allocation.shape
             source = np.asarray(vectors)
@@ -642,7 +740,7 @@ class PumServer:
         """The queued request to shed for ``newcomer``, or None to reject it."""
         if self.batching.admission != "shed_lowest":
             return None
-        victim = self.request_queue.victim()
+        victim = self.request_queue.victim(self.scheduling.victim_order(self))
         if victim is not None and victim.priority < newcomer.priority:
             return victim
         return None
@@ -674,10 +772,11 @@ class PumServer:
         """
         with self._lock:
             self.now += 1
+            self.scheduling.on_tick(self)
             self.stats.observe_queue_depth(len(self.request_queue))
             resolved = self._shed_expired()
-            for key in self.request_queue.ready_groups(
-                self.now, self.batching.max_batch, self.batching.max_wait_ticks
+            for key in self.scheduling.ready_groups(
+                self, self.request_queue, self.now
             ):
                 resolved.extend(self._dispatch_group(key))
             return resolved
@@ -710,17 +809,16 @@ class PumServer:
         """Drain one compatible group into >= 1 ``exec_mvm_batch`` calls."""
         name, input_bits = key
         responses: List[Response] = []
+        scheduling = self.scheduling
         while True:
-            pending = self.request_queue.group_pending(key)
-            if not pending:
+            if not self.request_queue.group_pending(key):
                 return responses
-            # The oldest member's wait is read once per pass (the flat
-            # scheduler used to recompute the min twice per group).
-            if pending < self.batching.max_batch \
-                    and self.request_queue.oldest_wait(key, self.now) \
-                    < self.batching.max_wait_ticks:
+            # One policy decision per candidate batch (for the static
+            # policy this is the exact pre-policy readiness check, with
+            # the oldest member's wait read once per pass).
+            if not scheduling.dispatch_now(self, self.request_queue, key, self.now):
                 return responses
-            batch = self.request_queue.take(key, self.batching.max_batch)
+            batch = self.request_queue.take(key, scheduling.max_batch)
             responses.extend(self._execute_batch(name, input_bits, batch))
 
     def _assemble_batch(
@@ -755,10 +853,11 @@ class PumServer:
             self.stats.zero_copy_batches += 1
             return source[first.source_row: last.source_row + 1]
         key = (allocation.allocation_id, input_bits)
+        max_batch = self.scheduling.max_batch
         arena = self._arenas.get(key)
-        if arena is None or arena.shape[0] < self.batching.max_batch:
+        if arena is None or arena.shape[0] < max_batch:
             arena = np.empty(
-                (self.batching.max_batch, allocation.shape[0]), dtype=np.int64
+                (max_batch, allocation.shape[0]), dtype=np.int64
             )
             self._arenas[key] = arena
         for row, request in enumerate(batch):

@@ -250,6 +250,38 @@ class DarthPumDevice:
         """Execution plans compiled on this device (see ``DarthPumChip``)."""
         return self.chip.planner_builds()
 
+    def predicted_mvm_cycles(
+        self, allocation: MatrixAllocation, batch: int, input_bits: int = 8
+    ) -> float:
+        """Predicted cycles of one ``batch`` MVM against ``allocation``.
+
+        Closed-form from each tile block's cached
+        :meth:`~repro.plan.ir.MvmPlan.predicted_cycles` -- identical to the
+        optimized-timeline cycles execution will charge, without touching
+        any device state (``compile`` at registration means this is pure
+        cache hits).  Tile blocks execute serially on one device, so costs
+        sum.
+        """
+        total = 0.0
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            total += hct.planner.plan_for(handle, input_bits).predicted_cycles(batch)
+        return total
+
+    def predicted_mvm_energy_pj(
+        self, allocation: MatrixAllocation, batch: int, input_bits: int = 8
+    ) -> float:
+        """Predicted analog-phase energy (pJ) of one ``batch`` MVM."""
+        total = 0.0
+        for tile in allocation.placement.tiles:
+            hct_index = allocation.hct_indices[tile.hct_slot % len(allocation.hct_indices)]
+            hct = self.chip.hct(hct_index)
+            handle = allocation.handles[tile.hct_slot]
+            total += hct.planner.plan_for(handle, input_bits).predicted_energy_pj(batch)
+        return total
+
     def update_row(self, allocation: MatrixAllocation, row: int, values: np.ndarray) -> None:
         """updateRow(): rewrite one matrix row across the affected HCTs."""
         self._update(allocation, row=row, values=values)

@@ -42,6 +42,7 @@ from repro.errors import (
     ReplicationError,
     ReproError,
     SchedulerError,
+    SloError,
 )
 from repro.isa import assemble
 from repro.runtime import AesSession, DevicePool, FaultInjector, PumServer
@@ -83,6 +84,15 @@ class TestRaisableViaPublicApi:
         server = PumServer(pool=small_pool())
         with pytest.raises(AdmissionError, match="no matrix registered"):
             server.allocation_for("missing")
+
+    def test_slo_error(self):
+        server = PumServer(pool=small_pool())
+        server.register_matrix("proj", np.eye(4, dtype=np.int64))
+        with pytest.raises(SloError, match="unknown SLO class"):
+            server.submit("proj", np.zeros(4, dtype=np.int64), slo="platinum")
+        from repro.runtime import SloClass
+        with pytest.raises(SloError, match="latency_target_ticks"):
+            SloClass("bogus", latency_target_ticks=0)
 
     def test_mapping_error(self):
         session = AesSession()  # no key at init
@@ -192,6 +202,7 @@ class TestHierarchy:
         (ReplicationError, AllocationError),
         (SchedulerError, ReproError),
         (AdmissionError, SchedulerError),
+        (SloError, SchedulerError),
         (MappingError, ReproError),
         (IsaError, ReproError),
         (ExecutionError, ReproError),
@@ -213,7 +224,8 @@ class TestHierarchy:
         covered = {
             "ReproError", "ConfigurationError", "CapacityError",
             "AllocationError", "NoDevicesError", "ReplicationError",
-            "SchedulerError", "AdmissionError", "MappingError", "IsaError",
+            "SchedulerError", "AdmissionError", "SloError", "MappingError",
+            "IsaError",
             "ExecutionError", "ArbiterConflictError", "RegisterLiveError",
             "DeviceError", "DeviceFailedError", "QuantizationError",
         }
