@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench sched-bench plan-dump profile profile-server lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench integrity-bench sched-bench plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -62,6 +62,14 @@ chaos:
 # benchmarks job does) to also append to BENCH_recovery.json.
 recovery-bench:
 	$(PY) -m pytest benchmarks/test_recovery.py -q
+
+# Integrity acceptance gate: ABFT verification overhead (verify="full"
+# within 1.15x of the fault-free drain) and the wall-clock cost of a live
+# band rebuild after losing every replica.  Writes
+# benchmarks/artifacts/integrity.json; set REPRO_BENCH_RECORD=1 (as the CI
+# chaos job does) to also append to BENCH_recovery.json.
+integrity-bench:
+	$(PY) -m pytest benchmarks/test_recovery.py::test_integrity_benchmark -q
 
 # Cost-aware scheduling gate (CostAwarePolicy beats StaticBatchingPolicy on
 # p99 latency AND deadline sheds at equal open-loop load; static-via-policy

@@ -29,7 +29,8 @@ from .plan import (
     resolve_backend,
 )
 from .runtime.faults import FaultInjector, FaultSchedule
-from .runtime.pool import DevicePool, PredictedFinishTimePolicy
+from .runtime.integrity import DeviceHealth, IntegrityChecker
+from .runtime.pool import DevicePool, PredictedFinishTimePolicy, RebuildReport
 from .runtime.queueing import IndexedRequestQueue, RequestQueue
 from .runtime.scheduling import (
     Autotuner,
@@ -41,7 +42,7 @@ from .runtime.scheduling import (
 from .runtime.server import PumServer, ThreadedServerDriver
 from .runtime.session import DarthPumDevice
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BACKENDS",
@@ -52,6 +53,7 @@ __all__ = [
     "CostLedger",
     "DarthPumChip",
     "DarthPumDevice",
+    "DeviceHealth",
     "DevicePool",
     "ExecutionBackend",
     "FaultInjector",
@@ -59,10 +61,12 @@ __all__ = [
     "HctConfig",
     "HybridComputeTile",
     "IndexedRequestQueue",
+    "IntegrityChecker",
     "MvmPlan",
     "Planner",
     "PredictedFinishTimePolicy",
     "PumServer",
+    "RebuildReport",
     "RequestQueue",
     "SchedulingPolicy",
     "ShardedPlan",

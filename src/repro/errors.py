@@ -89,6 +89,38 @@ class DeviceFailedError(DeviceError):
         super().__init__(detail)
 
 
+class IntegrityError(DeviceError):
+    """A device result failed its ABFT checksum verification.
+
+    Raised by the pool's integrity tier (``DevicePool(verify="full")``)
+    when a shard's partial result does not match the column-sum check
+    vector precomputed at registration.  Like
+    :class:`DeviceFailedError`, the fan-out treats it as retryable: the
+    band re-executes on a replica within the same dispatch.
+
+    Attributes
+    ----------
+    device_index:
+        Pool index of the device that returned the corrupted result.
+    band:
+        Shard position (row band) whose partial failed the check.
+    kind:
+        ``"corruption"`` (one copy failed its check) or ``"exhausted"``
+        (every copy of the band failed verification or died).
+    """
+
+    def __init__(self, device_index: int, band: int,
+                 kind: str = "corruption", message: str = "") -> None:
+        self.device_index = device_index
+        self.band = band
+        self.kind = kind
+        detail = message or (
+            f"device {device_index} returned a corrupted partial for band "
+            f"{band} ({kind}): row-checksum mismatch"
+        )
+        super().__init__(detail)
+
+
 class ReplicationError(AllocationError):
     """A replication factor cannot be satisfied by the configured pool.
 
@@ -108,6 +140,32 @@ class ReplicationError(AllocationError):
             f"replication factor {replication} cannot be satisfied by a pool "
             f"of {num_devices} device(s); replicas of one row band must live "
             f"on distinct devices"
+        )
+        super().__init__(detail)
+
+
+class RebuildError(AllocationError):
+    """A lost row band could not be rebuilt onto the remaining devices.
+
+    Raised by :meth:`~repro.runtime.pool.DevicePool.rebuild` when a band
+    with zero healthy copies cannot be reprogrammed anywhere -- no healthy
+    device has the free HCTs the band needs.
+
+    Attributes
+    ----------
+    allocation_id:
+        Pooled allocation whose rebuild failed.
+    band:
+        Shard position (row band) that could not be placed.
+    """
+
+    def __init__(self, allocation_id: int, band: int,
+                 message: str = "") -> None:
+        self.allocation_id = allocation_id
+        self.band = band
+        detail = message or (
+            f"band {band} of allocation {allocation_id} has no live copy and "
+            f"cannot be rebuilt: no healthy device has enough free HCTs"
         )
         super().__init__(detail)
 

@@ -536,6 +536,33 @@ class ShardedPlan:
             for task in self.replica_tasks(position)
         )
 
+    def splice_band(self, position: int, tasks: Tuple[ShardTask, ...]) -> None:
+        """Replace every copy of band ``position`` in place (live rebuild).
+
+        ``tasks[0]`` becomes the new primary; the remaining entries are its
+        failover replicas in replica order.  The plan object itself is kept
+        alive -- the pool's rebuild path splices reprogrammed copies into
+        the *cached* plan so in-flight dispatch state (``prepared_input_bits``,
+        any server-side references) survives the repair.
+        """
+        if not 0 <= position < self.num_shards:
+            raise IndexError(
+                f"band {position} out of range for a {self.num_shards}-shard plan"
+            )
+        if not tasks:
+            raise ValueError("splice_band needs at least one replacement copy")
+        primaries = list(self.tasks)
+        primaries[position] = tasks[0]
+        self.tasks = tuple(primaries)
+        if len(tasks) > 1 or self.replicas:
+            self.replicas[position] = tuple(tasks)
+        by_device: Dict[int, List[ShardTask]] = {}
+        for task in self.tasks:
+            by_device.setdefault(task.device_index, []).append(task)
+        self.tasks_by_device = {
+            index: tuple(group) for index, group in by_device.items()
+        }
+
     @property
     def devices_used(self) -> List[int]:
         """Indices of the devices holding at least one primary shard."""

@@ -14,9 +14,11 @@ fail on demand -- or on a *seeded schedule* -- in three ways:
     itself.  Models a transient stall.
 ``corrupt``
     The device silently returns corrupted results for a bounded number of
-    calls: one deterministic bit flip per result array.  The pool *cannot*
-    detect this (there is no ECC on partial sums); it exists so the chaos
-    suite can prove its own bit-identity checks have teeth.
+    calls: one deterministic bit flip per result array.  With verification
+    off the pool serves the wrong answer (the chaos suite's negative
+    control); with ``DevicePool(verify="full")`` the ABFT checksum tier
+    (:mod:`repro.runtime.integrity`) detects the flip and re-executes the
+    band on a replica.
 
 All three are deterministic: triggers count per-device calls (not wall
 clock), and the corruption mask is derived from ``(seed, device, call)`` so
@@ -180,13 +182,35 @@ class FaultInjector:
     # Wiring                                                               #
     # ------------------------------------------------------------------ #
     def attach(self, pool: "DevicePool") -> "FaultInjector":
-        """Install this injector on ``pool`` (returns self for chaining)."""
+        """Install this injector on ``pool`` (returns self for chaining).
+
+        Idempotent: re-attaching to the same pool is a no-op, and attaching
+        to a *different* pool first detaches from the old one -- an injector
+        drives at most one pool, and a pool holds at most one injector.
+        Attaching over a different injector already installed on ``pool``
+        raises :class:`~repro.errors.SchedulerError`; detach that one first
+        (stacked injectors would double-count calls and fire faults twice).
+        """
+        installed = pool.fault_injector
+        if installed is self and self._pool is pool:
+            return self
+        if installed is not None and installed is not self:
+            raise SchedulerError(
+                "pool already has a FaultInjector attached; detach it before "
+                "attaching another one"
+            )
+        if self._pool is not None and self._pool is not pool:
+            self.detach()
         pool.fault_injector = self
         self._pool = pool
         return self
 
     def detach(self) -> None:
-        """Remove this injector from its pool (faults stop firing)."""
+        """Remove this injector from its pool (faults stop firing).
+
+        Idempotent: detaching an unattached injector is a no-op, and a
+        pool whose injector was swapped out from under us is left alone.
+        """
         if self._pool is not None and self._pool.fault_injector is self:
             self._pool.fault_injector = None
         self._pool = None

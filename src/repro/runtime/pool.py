@@ -32,6 +32,7 @@ sharding work across identical compute tiles:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -41,9 +42,12 @@ import numpy as np
 from ..core.config import ChipConfig
 from ..errors import (
     AllocationError,
+    ConfigurationError,
     DeviceFailedError,
+    IntegrityError,
     NoDevicesError,
     QuantizationError,
+    RebuildError,
     ReplicationError,
 )
 from ..metrics import CostLedger, merge_ledgers
@@ -51,6 +55,7 @@ from ..plan.backends import ExecutionBackend
 from ..plan.ir import ShardTask, ShardedPlan
 from ..reram import NoiseConfig
 from .allocator import plan_matrix
+from .integrity import VERIFY_FULL, VERIFY_MODES, VERIFY_OFF, DeviceHealth, IntegrityChecker
 from .session import DarthPumDevice, MatrixAllocation
 
 __all__ = [
@@ -60,6 +65,7 @@ __all__ = [
     "PlacementPolicy",
     "PooledAllocation",
     "PredictedFinishTimePolicy",
+    "RebuildReport",
     "RoundRobinPolicy",
     "Shard",
     "make_placement_policy",
@@ -71,11 +77,18 @@ _NOTHING_TRIED: frozenset = frozenset()
 
 
 class _ShardFailure:
-    """Sentinel carried back from a tolerant fan-out worker: shard failed."""
+    """Sentinel carried back from a tolerant fan-out worker: shard failed.
+
+    ``error`` is either a :class:`~repro.errors.DeviceFailedError` (the
+    device died mid-call) or an :class:`~repro.errors.IntegrityError` (the
+    device answered, but its partial failed the ABFT checksum).
+    """
 
     __slots__ = ("task", "error")
 
-    def __init__(self, task: ShardTask, error: DeviceFailedError) -> None:
+    def __init__(
+        self, task: ShardTask, error: Union[DeviceFailedError, IntegrityError]
+    ) -> None:
         self.task = task
         self.error = error
 
@@ -112,6 +125,12 @@ class PooledAllocation:
     allocation_id: int
     shape: Tuple[int, int]
     shards: List[Tuple[Shard, MatrixAllocation]] = field(default_factory=list)
+    #: Canonical int64 copy of the source matrix, retained so
+    #: :meth:`DevicePool.rebuild` can reprogram lost row bands.
+    matrix: Optional[np.ndarray] = None
+    #: Quantisation config the matrix was stored with (rebuild reuses it).
+    element_size: int = 8
+    precision: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -129,6 +148,27 @@ class PooledAllocation:
     def devices_used(self) -> List[int]:
         """Indices of the devices holding at least one shard (replicas too)."""
         return sorted({shard.device_index for shard, _ in self.shards})
+
+
+@dataclass(frozen=True)
+class RebuildReport:
+    """Outcome of one :meth:`DevicePool.rebuild` pass over an allocation."""
+
+    allocation_id: int
+    #: Band positions that received at least one reprogrammed copy.
+    bands_rebuilt: Tuple[int, ...]
+    #: New copies programmed onto healthy devices, in placement order.
+    copies_programmed: Tuple[Shard, ...]
+    #: Copies on failed devices that were dropped from the allocation.
+    copies_dropped: Tuple[Shard, ...]
+    #: Minimum live copies per band after the rebuild (the restored R,
+    #: possibly lower than the pool's target when capacity ran short).
+    replication: int
+
+    @property
+    def changed(self) -> bool:
+        """Whether the rebuild modified the allocation at all."""
+        return bool(self.copies_programmed or self.copies_dropped)
 
 
 class PlacementPolicy:
@@ -361,6 +401,23 @@ class DevicePool:
         distinct devices; dispatch prefers the primary copy and fails over
         to replicas when a device dies mid-call.  Must not exceed
         ``num_devices`` (:class:`~repro.errors.ReplicationError`).
+    verify:
+        ABFT output verification mode (see :mod:`repro.runtime.integrity`).
+        ``"off"`` (default) skips all checks; ``"audit"`` checks every
+        fan-out partial against its band's column-sum checksum and counts
+        mismatches (``corruptions_detected``) but still serves the result;
+        ``"full"`` additionally treats a mismatch as retryable -- the band
+        re-executes on a replica within the same call, and only when every
+        copy fails does the call raise
+        :class:`~repro.errors.IntegrityError` (``kind="exhausted"``).
+        Checks are exact on noise-free pools and tolerance-banded under
+        noise presets.  Verification assumes value-producing backends; a
+        cost-only backend (``backend="estimate"``) returns placeholder
+        values that cannot pass a checksum.
+    verify_tolerance:
+        Optional relative tolerance override for the checksum comparison
+        (``None`` = exact when ``noise`` is unset, a small default band
+        otherwise; ``0.0`` forces exact comparison even under noise).
     """
 
     POLICIES = (
@@ -377,6 +434,10 @@ class DevicePool:
         parallel: bool = True,
         max_workers: Optional[int] = None,
         replication: int = 1,
+        verify: str = "off",
+        verify_tolerance: Optional[float] = None,
+        health_alpha: float = 0.25,
+        health_threshold: float = 0.5,
     ) -> None:
         if num_devices < 1:
             raise NoDevicesError(
@@ -413,11 +474,49 @@ class DevicePool:
         #: Optional :class:`~repro.runtime.faults.FaultInjector`, consulted
         #: around every device execution when set (see ``attach``).
         self.fault_injector = None
+        # Integrity tier: ABFT checksum verification plus per-device EWMA
+        # health scores feeding the corruption quarantine.
+        self._verify = self._validated_verify(verify)
+        noisy = noise is not None and any((
+            noise.programming_noise, noise.read_noise, noise.ir_drop,
+            noise.drift, noise.stuck_at_faults,
+        ))
+        self.integrity = IntegrityChecker(tolerance=verify_tolerance, noisy=noisy)
+        self._health: List[DeviceHealth] = [
+            DeviceHealth(alpha=health_alpha, threshold=health_threshold)
+            for _ in range(num_devices)
+        ]
+        # Health/counter updates can run on fan-out worker threads; the
+        # lock keeps the counters exact (tests assert equalities on them).
+        self._integrity_lock = threading.Lock()
+        self.integrity_checks = 0
+        self.corruptions_detected = 0
+        self.integrity_reexecutions = 0
+        self.quarantines = 0
+        self.rebuilds = 0
+        self.bands_rebuilt = 0
 
     @property
     def policy(self) -> str:
         """Name of the active placement policy."""
         return self.placement_policy.name
+
+    @staticmethod
+    def _validated_verify(mode: str) -> str:
+        if mode not in VERIFY_MODES:
+            raise ConfigurationError(
+                f"unknown verify mode {mode!r}; expected one of {VERIFY_MODES}"
+            )
+        return mode
+
+    @property
+    def verify(self) -> str:
+        """Active ABFT verification mode (``"off"``/``"audit"``/``"full"``)."""
+        return self._verify
+
+    @verify.setter
+    def verify(self, mode: str) -> None:
+        self._verify = self._validated_verify(mode)
 
     # ------------------------------------------------------------------ #
     # Scheduling                                                           #
@@ -487,8 +586,10 @@ class DevicePool:
             )
         self.placement_policy.committed(plan, self.num_devices)
 
+        source = np.ascontiguousarray(matrix, dtype=np.int64)
         allocation = PooledAllocation(
-            allocation_id=self._next_allocation, shape=(rows, cols)
+            allocation_id=self._next_allocation, shape=(rows, cols),
+            matrix=source, element_size=element_size, precision=precision,
         )
         for shard in plan:
             device = self.devices[shard.device_index]
@@ -497,6 +598,11 @@ class DevicePool:
                 (shard, device.set_matrix(block, element_size=element_size,
                                           precision=precision))
             )
+        self.integrity.register(
+            allocation.allocation_id, source,
+            [(shard.row_start, shard.row_end)
+             for shard in plan if shard.replica == 0],
+        )
         self._allocations[allocation.allocation_id] = allocation
         self._next_allocation += 1
         return allocation
@@ -696,19 +802,104 @@ class DevicePool:
             self.device_failures += 1
 
     def restore_device(self, device_index: int) -> None:
-        """Re-admit a previously failed device to shard dispatch."""
+        """Re-admit a previously failed device to shard dispatch.
+
+        Also clears the device's quarantine flag and resets its EWMA health
+        score: restoration is the *only* way a quarantined device rejoins
+        dispatch (the score would otherwise keep it out forever).
+        """
         self._failed_devices.discard(device_index)
+        self._health[device_index].reset()
 
     @property
     def failed_devices(self) -> List[int]:
         """Devices currently marked failed, sorted."""
         return sorted(self._failed_devices)
 
-    def device_health(self) -> List[bool]:
-        """Per-device health flags (True = healthy / dispatchable)."""
-        return [
+    def device_health(self, detail: bool = False) -> List:
+        """Per-device health of the pool.
+
+        With ``detail=False`` (default): one bool per device, True =
+        healthy / dispatchable.  With ``detail=True``: one dict per device
+        carrying the dispatchability flag plus the integrity tier's state
+        (EWMA ``score``, lifetime ``corruptions``/``failures``, and whether
+        the device is currently ``quarantined`` by the corruption
+        quarantine).
+        """
+        healthy = [
             index not in self._failed_devices for index in range(self.num_devices)
         ]
+        if not detail:
+            return healthy
+        return [
+            {
+                "healthy": healthy[index],
+                "score": health.score,
+                "corruptions": health.corruptions,
+                "failures": health.failures,
+                "quarantined": health.quarantined,
+            }
+            for index, health in enumerate(self._health)
+        ]
+
+    def resilience_snapshot(self) -> Tuple[int, int, int, int, int, int]:
+        """The resilience counters a server brackets around one dispatch."""
+        return (
+            self.replica_hits, self.replica_retries, self.device_failures,
+            self.integrity_checks, self.corruptions_detected,
+            self.integrity_reexecutions,
+        )
+
+    def _health_ok(self, device_index: int) -> None:
+        """Decay one device's health score after an uneventful call."""
+        health = self._health[device_index]
+        if health.score:
+            with self._integrity_lock:
+                health.record_ok()
+
+    def _health_event(self, device_index: int, corruption: bool) -> None:
+        """Account one bad event; quarantine the device past the threshold."""
+        with self._integrity_lock:
+            health = self._health[device_index]
+            crossed = (
+                health.record_corruption() if corruption
+                else health.record_failure()
+            )
+            if crossed and not health.quarantined:
+                health.quarantined = True
+                self.quarantines += 1
+                self.mark_device_failed(device_index)
+
+    def _finish_call(self, plan: ShardedPlan, task: ShardTask,
+                     vectors, partial):
+        """Post-process one successful device call: health decay + ABFT check.
+
+        ``vectors`` is the input slice the shard consumed (None when the
+        caller has nothing to verify against).  In ``"full"`` mode a failed
+        check raises :class:`~repro.errors.IntegrityError` so the retry
+        machinery re-executes the band on a replica; ``"audit"`` counts the
+        detection but serves the result as-is.
+        """
+        if self._verify == VERIFY_OFF or vectors is None:
+            self._health_ok(task.device_index)
+            return partial
+        ok = self.integrity.verify(
+            plan.allocation_id, task.position, vectors, partial
+        )
+        if ok is None:
+            self._health_ok(task.device_index)
+            return partial
+        with self._integrity_lock:
+            self.integrity_checks += 1
+        if ok:
+            self._health_ok(task.device_index)
+            return partial
+        with self._integrity_lock:
+            self.corruptions_detected += 1
+        self._health_event(task.device_index, corruption=True)
+        if self._verify == VERIFY_FULL:
+            raise IntegrityError(task.device_index, task.position)
+        return partial
 
     def _device_call(self, device_index: int, fn, *args, **kwargs):
         """Run one device call through the fault injector (when attached)."""
@@ -742,21 +933,51 @@ class DevicePool:
         return fallback
 
     def _exhausted(
-        self, plan: ShardedPlan, position: int, device_index: int, tried
-    ) -> DeviceFailedError:
-        return DeviceFailedError(
-            device_index, "exhausted",
+        self, plan: ShardedPlan, position: int, device_index: int, tried,
+        cause: Optional[Exception] = None,
+    ) -> Union[DeviceFailedError, IntegrityError]:
+        detail = (
             f"every replica of band {position} of allocation "
-            f"{plan.allocation_id} has failed (tried devices {sorted(tried)})",
+            f"{plan.allocation_id} has failed (tried devices {sorted(tried)})"
         )
+        if isinstance(cause, IntegrityError):
+            return IntegrityError(device_index, position, "exhausted", detail)
+        return DeviceFailedError(device_index, "exhausted", detail)
 
-    def _run_shard_with_retry(self, plan: ShardedPlan, position: int, call):
+    def _note_shard_failure(self, task: ShardTask, error: Exception) -> None:
+        """Health/counter bookkeeping for one failed shard execution.
+
+        A dead device (:class:`~repro.errors.DeviceFailedError`) is marked
+        failed immediately -- it did not answer at all.  A corrupted result
+        (:class:`~repro.errors.IntegrityError`) is *not*: the device is
+        alive and may serve other bands correctly, so only the EWMA health
+        score moves (the quarantine pulls it from dispatch once corruption
+        proves persistent).  The :class:`IntegrityError` path's score bump
+        already happened in ``_finish_call`` when the check failed.
+        """
+        if not isinstance(error, IntegrityError):
+            self.mark_device_failed(task.device_index)
+            self._health_event(task.device_index, corruption=False)
+
+    def _note_shard_retry(self, error: Exception) -> None:
+        if isinstance(error, IntegrityError):
+            with self._integrity_lock:
+                self.integrity_reexecutions += 1
+        else:
+            self.replica_retries += 1
+
+    def _run_shard_with_retry(self, plan: ShardedPlan, position: int, call,
+                              verify_input=None):
         """Serially execute one band, failing over across its replicas.
 
-        ``call(task)`` performs the device work for one copy.  A copy whose
+        ``call(task)`` performs the device work for one copy;
+        ``verify_input(task)`` (optional) returns the input slice the copy
+        consumed, enabling the ABFT check on its result.  A copy whose
         device raises :class:`~repro.errors.DeviceFailedError` is marked
-        failed and the next replica is tried; when no copy is left the
-        band raises ``DeviceFailedError(kind="exhausted")``.
+        failed and the next replica is tried; a copy whose result fails
+        verification (``verify="full"``) re-executes on a replica the same
+        way.  When no copy is left the band raises the appropriate error
+        with ``kind="exhausted"``.
         """
         tried: set = set()
         task = self._select_task(plan, position, tried)
@@ -764,16 +985,21 @@ class DevicePool:
             self.replica_hits += 1
         while True:
             try:
-                return self._device_call(task.device_index, call, task)
-            except DeviceFailedError as exc:
-                self.mark_device_failed(task.device_index)
+                result = self._device_call(task.device_index, call, task)
+                return self._finish_call(
+                    plan, task,
+                    verify_input(task) if verify_input is not None else None,
+                    result,
+                )
+            except (DeviceFailedError, IntegrityError) as exc:
+                self._note_shard_failure(task, exc)
                 tried.add(task.device_index)
                 retry = self._select_task(plan, position, tried)
                 if retry is None:
                     raise self._exhausted(
-                        plan, position, task.device_index, tried
+                        plan, position, task.device_index, tried, exc
                     ) from exc
-                self.replica_retries += 1
+                self._note_shard_retry(exc)
                 task = retry
 
     def _dispatch_with_retry(self, selected: Dict, run) -> Dict:
@@ -782,10 +1008,11 @@ class DevicePool:
         ``selected`` maps an opaque key to ``(plan, task)``;
         ``run(device_index, (key, task))`` returns ``(key, value)`` where
         ``value`` is either a partial result or a :class:`_ShardFailure`
-        (the tolerant wrapper converts in-call ``DeviceFailedError`` into
-        the latter so sibling shards are unaffected).  The initial wave runs
-        in parallel; retries go out in further waves (rarely more than one)
-        until every key has a result or some band exhausts its replicas.
+        (the tolerant wrapper converts an in-call ``DeviceFailedError`` or
+        a failed ABFT check into the latter so sibling shards are
+        unaffected).  The initial wave runs in parallel; retries go out in
+        further waves (rarely more than one) until every key has a result
+        or some band exhausts its replicas.
         """
         tasks_by_device: Dict[int, List] = {}
         for key, (plan, task) in selected.items():
@@ -801,15 +1028,16 @@ class DevicePool:
                     continue
                 plan, _ = selected[key]
                 failed = value.task
-                self.mark_device_failed(failed.device_index)
+                self._note_shard_failure(failed, value.error)
                 attempted = tried.setdefault(key, set())
                 attempted.add(failed.device_index)
                 retry = self._select_task(plan, failed.position, attempted)
                 if retry is None:
                     raise self._exhausted(
-                        plan, failed.position, failed.device_index, attempted
+                        plan, failed.position, failed.device_index, attempted,
+                        value.error,
                     ) from value.error
-                self.replica_retries += 1
+                self._note_shard_retry(value.error)
                 tasks_by_device.setdefault(retry.device_index, []).append(
                     (key, retry)
                 )
@@ -846,9 +1074,14 @@ class DevicePool:
                 input_bits=input_bits,
             )
 
+        def verify_input(task: ShardTask) -> np.ndarray:
+            return vector[task.row_start: task.row_end]
+
         result = np.zeros(cols, dtype=np.int64)
         for position in range(plan.num_shards):
-            result += self._run_shard_with_retry(plan, position, call)
+            result += self._run_shard_with_retry(
+                plan, position, call, verify_input=verify_input
+            )
         return result
 
     def _fanout_executor(self) -> ThreadPoolExecutor:
@@ -958,20 +1191,23 @@ class DevicePool:
                     backend=backend,
                 )
 
-            return self._run_shard_with_retry(plan, 0, single)
+            return self._run_shard_with_retry(
+                plan, 0, single, verify_input=lambda task: vectors
+            )
         result = np.zeros((vectors.shape[0], cols), dtype=np.int64)
 
         def run(device_index: int, item):
             position, task = item
+            sub = vectors[:, task.row_start: task.row_end]
             try:
                 partial = self._device_call(
                     device_index,
                     self.devices[device_index].exec_mvm_batch,
-                    task.device_allocation,
-                    vectors[:, task.row_start: task.row_end],
+                    task.device_allocation, sub,
                     input_bits=input_bits, backend=backend,
                 )
-            except DeviceFailedError as exc:
+                partial = self._finish_call(plan, task, sub, partial)
+            except (DeviceFailedError, IntegrityError) as exc:
                 return position, _ShardFailure(task, exc)
             return position, partial
 
@@ -1018,15 +1254,16 @@ class DevicePool:
         def run(device_index: int, item):
             key, task = item
             index, _position = key
+            sub = batches[index][:, task.row_start: task.row_end]
             try:
                 partial = self._device_call(
                     device_index,
                     self.devices[device_index].exec_mvm_batch,
-                    task.device_allocation,
-                    batches[index][:, task.row_start: task.row_end],
+                    task.device_allocation, sub,
                     input_bits=input_bits, backend=backend,
                 )
-            except DeviceFailedError as exc:
+                partial = self._finish_call(plans[index], task, sub, partial)
+            except (DeviceFailedError, IntegrityError) as exc:
                 return key, _ShardFailure(task, exc)
             return key, partial
 
@@ -1050,6 +1287,157 @@ class DevicePool:
             self.devices[shard.device_index].release(device_allocation)
         self._allocations.pop(allocation.allocation_id, None)
         self._sharded_plans.pop(allocation.allocation_id, None)
+        self.integrity.forget(allocation.allocation_id)
+
+    # ------------------------------------------------------------------ #
+    # Live shard rebuild                                                   #
+    # ------------------------------------------------------------------ #
+    def rebuild(self, allocation: PooledAllocation) -> RebuildReport:
+        """Reprogram ``allocation``'s lost row bands onto healthy devices.
+
+        For every band, copies living on failed devices are dropped and
+        replaced (up to the pool's replication target) by fresh copies
+        programmed from the retained source matrix onto healthy devices
+        with free HCTs -- the analog-fabric equivalent of re-replicating a
+        lost storage shard.  The new copies are spliced into the *cached*
+        :class:`~repro.plan.ir.ShardedPlan` and their tile-level plans are
+        compiled at every precision the allocation was already prepared
+        for, so post-rebuild dispatch pays no planning stall.
+
+        A band that cannot reach the replication target but keeps at least
+        one live copy is left degraded (requests still succeed); a band
+        with *zero* live copies that cannot be placed anywhere raises
+        :class:`~repro.errors.RebuildError` (any copies programmed earlier
+        in the same pass are rolled back).  Healthy allocations return an
+        unchanged no-op report.
+        """
+        if allocation.matrix is None:
+            raise RebuildError(
+                allocation.allocation_id, -1,
+                f"allocation {allocation.allocation_id} retained no source "
+                f"matrix; it cannot be rebuilt",
+            )
+        source = allocation.matrix
+        bands: Dict[Tuple[int, int], List[Tuple[Shard, MatrixAllocation]]] = {}
+        for shard, device_allocation in allocation.shards:
+            bands.setdefault((shard.row_start, shard.row_end), []).append(
+                (shard, device_allocation)
+            )
+        ordered = sorted(bands)
+        programmed: List[Tuple[int, MatrixAllocation]] = []
+        programmed_shards: List[Shard] = []
+        dropped: List[Tuple[Shard, MatrixAllocation]] = []
+        rebuilt_positions: List[int] = []
+        new_shards: List[Tuple[Shard, MatrixAllocation]] = []
+        new_plan_tasks: Dict[int, Tuple[ShardTask, ...]] = {}
+        free = [self.free_hcts(index) for index in range(self.num_devices)]
+        min_copies = self.replication
+
+        def rollback() -> None:
+            for device_index, device_allocation in programmed:
+                self.devices[device_index].release(device_allocation)
+
+        try:
+            for position, key in enumerate(ordered):
+                row_start, row_end = key
+                copies = bands[key]
+                healthy = [
+                    pair for pair in copies
+                    if pair[0].device_index not in self._failed_devices
+                ]
+                lost = [
+                    pair for pair in copies
+                    if pair[0].device_index in self._failed_devices
+                ]
+                holders = [shard.device_index for shard, _ in healthy]
+                needed = self._hcts_for(
+                    (row_end - row_start, allocation.shape[1]),
+                    allocation.element_size, allocation.precision,
+                )
+                fresh: List[Tuple[Shard, MatrixAllocation]] = []
+                for _ in range(self.replication - len(healthy)):
+                    trial = list(free)
+                    for index in set(holders) | self._failed_devices:
+                        if 0 <= index < len(trial):
+                            trial[index] = -1
+                    chosen = self.placement_policy.choose(trial, needed, holders)
+                    if chosen is None:
+                        break
+                    block = source[row_start:row_end, :]
+                    device_allocation = self.devices[chosen].set_matrix(
+                        block, element_size=allocation.element_size,
+                        precision=allocation.precision,
+                    )
+                    free[chosen] -= needed
+                    holders.append(chosen)
+                    programmed.append((chosen, device_allocation))
+                    fresh.append((
+                        Shard(device_index=chosen, row_start=row_start,
+                              row_end=row_end),
+                        device_allocation,
+                    ))
+                if not healthy and not fresh:
+                    raise RebuildError(allocation.allocation_id, position)
+                if fresh:
+                    rebuilt_positions.append(position)
+                if lost:
+                    dropped.extend(lost)
+                band_pairs = [
+                    (Shard(device_index=shard.device_index,
+                           row_start=row_start, row_end=row_end,
+                           replica=replica), device_allocation)
+                    for replica, (shard, device_allocation)
+                    in enumerate(healthy + fresh)
+                ]
+                new_shards.extend(band_pairs)
+                programmed_shards.extend(
+                    shard for shard, _ in band_pairs[len(healthy):]
+                )
+                new_plan_tasks[position] = tuple(
+                    ShardTask(
+                        position=position,
+                        device_index=shard.device_index,
+                        row_start=shard.row_start,
+                        row_end=shard.row_end,
+                        device_allocation=device_allocation,
+                        replica=shard.replica,
+                    )
+                    for shard, device_allocation in band_pairs
+                )
+                min_copies = min(min_copies, len(band_pairs))
+        except Exception:
+            rollback()
+            raise
+
+        report = RebuildReport(
+            allocation_id=allocation.allocation_id,
+            bands_rebuilt=tuple(rebuilt_positions),
+            copies_programmed=tuple(programmed_shards),
+            copies_dropped=tuple(shard for shard, _ in dropped),
+            replication=min_copies,
+        )
+        if not report.changed:
+            return report
+
+        # Commit: swap the shard table, release the lost device-side
+        # allocations, splice the cached plan, and warm the new copies'
+        # tile plans at every already-prepared precision.
+        allocation.shards = new_shards
+        for shard, device_allocation in dropped:
+            self.devices[shard.device_index].release(device_allocation)
+        plan = self._sharded_plans.get(allocation.allocation_id)
+        if plan is not None:
+            for input_bits in sorted(plan.prepared_input_bits):
+                for device_index, device_allocation in programmed:
+                    self.devices[device_index].compile(
+                        device_allocation, input_bits=input_bits
+                    )
+            for position, tasks in new_plan_tasks.items():
+                plan.splice_band(position, tasks)
+        if rebuilt_positions:
+            self.rebuilds += 1
+            self.bands_rebuilt += len(rebuilt_positions)
+        return report
 
     # ------------------------------------------------------------------ #
     # Introspection / accounting                                           #

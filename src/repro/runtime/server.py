@@ -55,10 +55,17 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import AdmissionError, QuantizationError, ReproError, SchedulerError
+from ..errors import (
+    AdmissionError,
+    DeviceFailedError,
+    IntegrityError,
+    QuantizationError,
+    ReproError,
+    SchedulerError,
+)
 from ..metrics import percentile_sorted
 from ..plan.backends import ExecutionBackend
-from .pool import DevicePool, PooledAllocation
+from .pool import DevicePool, PooledAllocation, RebuildReport
 from .queueing import GroupKey, RequestQueue, make_request_queue
 from .scheduling import SchedulingPolicy, SloClass, make_scheduling_policy, resolve_slo
 
@@ -259,6 +266,14 @@ class ServingStats:
     replica_retries: int = 0
     device_failures: int = 0
     degraded_batches: int = 0
+    #: Integrity-tier telemetry (ABFT verification, see
+    #: :mod:`~repro.runtime.integrity`): checksum checks run, checks that
+    #: caught a corrupted partial, bands re-executed on a replica after a
+    #: detection, and allocations rebuilt onto healthy devices.
+    integrity_checks: int = 0
+    corruptions_detected: int = 0
+    reexecutions: int = 0
+    rebuilds: int = 0
     peak_queue_depth: int = 0
     queue_depth_samples: Deque[int] = field(
         default_factory=lambda: deque(maxlen=TELEMETRY_WINDOW)
@@ -335,6 +350,10 @@ class ServingStats:
             "replica_retries": float(self.replica_retries),
             "device_failures": float(self.device_failures),
             "degraded_batches": float(self.degraded_batches),
+            "integrity_checks": float(self.integrity_checks),
+            "corruptions_detected": float(self.corruptions_detected),
+            "reexecutions": float(self.reexecutions),
+            "rebuilds": float(self.rebuilds),
             "mean_batch_fill": self.mean_batch_fill,
             "max_queue_depth": float(self.peak_queue_depth),
             "p50_latency_ticks": self.latency_percentile(50),
@@ -380,11 +399,25 @@ class PumServer:
         queue: Union[str, RequestQueue] = "indexed",
         replication: int = 1,
         scheduling: Union[None, str, SchedulingPolicy] = None,
+        verify: Optional[str] = None,
+        verify_tolerance: Optional[float] = None,
+        auto_rebuild: bool = False,
     ) -> None:
         self.pool = pool if pool is not None else DevicePool(
             num_devices=num_devices, policy=policy, backend=backend,
             replication=replication,
+            verify=verify if verify is not None else "off",
+            verify_tolerance=verify_tolerance,
         )
+        if pool is not None and verify is not None:
+            # An explicit server-level verify mode wins over the pool's.
+            self.pool.verify = verify
+            if verify_tolerance is not None:
+                self.pool.integrity.tolerance = verify_tolerance
+        #: When True, a batch that exhausts every replica of a band
+        #: triggers :meth:`DevicePool.rebuild` on the affected allocation
+        #: and retries once before failing its riders.
+        self.auto_rebuild = bool(auto_rebuild)
         #: Execution backend for batches dispatched by this server; ``None``
         #: defers to the pool's default.  Kept server-side so two servers
         #: sharing one pool can run different backends without mutating the
@@ -874,28 +907,68 @@ class PumServer:
         """
         return self.pool.total_energy_pj()
 
-    def _note_degraded(
-        self, hits_before: int, retries_before: int, failures_before: int
-    ) -> None:
+    def _note_degraded(self, before: Tuple[int, ...]) -> None:
         """Fold the pool's resilience counter deltas into the serving stats.
 
-        Bracketing per dispatch (like the energy reading) keeps the stats
-        correct even when several servers share one pool: each server only
-        accounts the degradation its own batches experienced.
+        ``before`` is the :meth:`DevicePool.resilience_snapshot` taken when
+        the dispatch started.  Bracketing per dispatch (like the energy
+        reading) keeps the stats correct even when several servers share
+        one pool: each server only accounts the degradation its own batches
+        experienced.  Plain integrity checks do not flag a batch degraded
+        -- only failover events and detections do, so a fault-free
+        ``verify="full"`` run keeps ``degraded_batches == 0``.
         """
-        pool = self.pool
-        hits = pool.replica_hits - hits_before
-        retries = pool.replica_retries - retries_before
-        failures = pool.device_failures - failures_before
-        if hits or retries or failures:
+        hits, retries, failures, checks, corruptions, reexecutions = (
+            now - prior
+            for now, prior in zip(self.pool.resilience_snapshot(), before)
+        )
+        self.stats.integrity_checks += checks
+        if hits or retries or failures or corruptions or reexecutions:
             self.stats.replica_hits += hits
             self.stats.replica_retries += retries
             self.stats.device_failures += failures
+            self.stats.corruptions_detected += corruptions
+            self.stats.reexecutions += reexecutions
             self.stats.degraded_batches += 1
 
-    def device_health(self) -> List[bool]:
-        """Per-device health of the underlying pool (True = dispatchable)."""
-        return self.pool.device_health()
+    def device_health(self, detail: bool = False) -> List:
+        """Per-device health of the underlying pool.
+
+        ``detail=False``: one bool per device (True = dispatchable).
+        ``detail=True``: one dict per device with the integrity tier's
+        EWMA score, lifetime corruption/failure counts, and quarantine
+        flag (see :meth:`DevicePool.device_health`).
+        """
+        return self.pool.device_health(detail=detail)
+
+    def rebuild(self, name: str) -> RebuildReport:
+        """Rebuild the allocation registered under ``name`` (see pool docs).
+
+        Reprograms row-band copies lost to failed devices onto healthy
+        ones and invalidates the predicted-cost memos the placement change
+        stales.  Returns the pool's :class:`~repro.runtime.pool.RebuildReport`.
+        """
+        with self._lock:
+            allocation = self.allocation_for(name)
+            report = self.pool.rebuild(allocation)
+            if report.changed:
+                self.stats.rebuilds += 1
+                self._invalidate_cost_caches(allocation)
+            return report
+
+    def _invalidate_cost_caches(self, allocation: PooledAllocation) -> None:
+        """Drop predicted-cost memos of ``allocation`` (placement changed)."""
+        for cache in (self._cost_cache, self._energy_cache):
+            for key in [k for k in cache if k[0] == allocation.allocation_id]:
+                del cache[key]
+
+    @staticmethod
+    def _band_exhausted(exc: ReproError) -> bool:
+        """Whether ``exc`` means a band ran out of replicas (rebuildable)."""
+        return (
+            isinstance(exc, (DeviceFailedError, IntegrityError))
+            and getattr(exc, "kind", None) == "exhausted"
+        )
 
     def _execute_batch(
         self, name: str, input_bits: int, batch: List[Request]
@@ -903,20 +976,24 @@ class PumServer:
         allocation = self._matrices[name]
         vectors = self._assemble_batch(allocation, input_bits, batch)
         energy_before = self._energy_total()
-        pool = self.pool
-        hits_before = pool.replica_hits
-        retries_before = pool.replica_retries
-        failures_before = pool.device_failures
+        before = self.pool.resilience_snapshot()
         try:
             results = self.pool.exec_mvm_batch(
                 allocation, vectors, input_bits=input_bits, backend=self.backend
             )
         except ReproError as exc:
-            # A failing batch must never wedge the scheduler: resolve every
-            # rider as failed and keep the loop (and any driver thread) alive.
-            self._note_degraded(hits_before, retries_before, failures_before)
-            return self._fail_batch(batch, exc)
-        self._note_degraded(hits_before, retries_before, failures_before)
+            results = None
+            if self.auto_rebuild and self._band_exhausted(exc):
+                results = self._rebuild_and_retry(
+                    allocation, vectors, input_bits
+                )
+            if results is None:
+                # A failing batch must never wedge the scheduler: resolve
+                # every rider as failed and keep the loop (and any driver
+                # thread) alive.
+                self._note_degraded(before)
+                return self._fail_batch(batch, exc)
+        self._note_degraded(before)
         energy_pj = self._energy_total() - energy_before
         per_request = energy_pj / len(batch)
 
@@ -938,6 +1015,33 @@ class PumServer:
             responses.append(response)
         self.stats.record_batch(len(batch), latencies, energy_pj)
         return responses
+
+    def _rebuild_and_retry(
+        self,
+        allocation: PooledAllocation,
+        vectors: np.ndarray,
+        input_bits: int,
+    ) -> Optional[np.ndarray]:
+        """Auto-rebuild path: repair the allocation and retry the batch once.
+
+        Returns the retried batch's results, or ``None`` when the rebuild
+        found nowhere to place a lost band (or the retry failed again) --
+        the caller then fails the batch with the *original* error.
+        """
+        try:
+            report = self.pool.rebuild(allocation)
+        except ReproError:
+            return None
+        if not report.changed:
+            return None
+        self.stats.rebuilds += 1
+        self._invalidate_cost_caches(allocation)
+        try:
+            return self.pool.exec_mvm_batch(
+                allocation, vectors, input_bits=input_bits, backend=self.backend
+            )
+        except ReproError:
+            return None
 
     def _fail_batch(self, batch: List[Request], exc: ReproError) -> List[Response]:
         responses = []

@@ -23,15 +23,21 @@ import pytest
 
 from repro.testing import derive_rng
 from repro.core import ChipConfig, HctConfig
-from repro.errors import DeviceFailedError, ReplicationError, SchedulerError
+from repro.errors import (
+    DeviceFailedError,
+    IntegrityError,
+    ReplicationError,
+    SchedulerError,
+)
 from repro.runtime import DevicePool, FaultEvent, FaultInjector, FaultSchedule, PumServer
 
 
-def tiny_pool(num_devices=3, num_hcts=3, replication=1, policy="least_loaded"):
+def tiny_pool(num_devices=3, num_hcts=3, replication=1, policy="least_loaded",
+              verify="off"):
     config = ChipConfig(hct=HctConfig.small(), num_hcts=num_hcts)
     return DevicePool(
         num_devices=num_devices, config=config, policy=policy,
-        replication=replication,
+        replication=replication, verify=verify,
     )
 
 
@@ -146,6 +152,41 @@ class TestFaultInjector:
         assert pool.fault_injector is None
         out = pool.exec_mvm(allocation, np.ones(8, dtype=np.int64), input_bits=1)
         assert np.array_equal(out, np.ones(8, dtype=np.int64))
+
+    def test_attach_same_pool_is_idempotent(self):
+        pool = tiny_pool(num_devices=2)
+        injector = FaultInjector()
+        assert injector.attach(pool) is injector
+        injector.kill(1)
+        assert injector.attach(pool) is injector  # no-op, not a reset
+        assert pool.fault_injector is injector
+        assert injector.active_faults() == {1: "kill"}
+
+    def test_attach_over_a_different_injector_raises(self):
+        pool = tiny_pool(num_devices=2)
+        first = FaultInjector().attach(pool)
+        with pytest.raises(SchedulerError, match="already has a FaultInjector"):
+            FaultInjector().attach(pool)
+        assert pool.fault_injector is first  # conflict left the pool alone
+        first.detach()
+        second = FaultInjector().attach(pool)  # explicit detach unblocks
+        assert pool.fault_injector is second
+
+    def test_attach_to_a_new_pool_moves_the_injector(self):
+        first = tiny_pool(num_devices=2)
+        second = tiny_pool(num_devices=2)
+        injector = FaultInjector().attach(first)
+        injector.attach(second)
+        assert first.fault_injector is None
+        assert second.fault_injector is injector
+
+    def test_detach_is_idempotent(self):
+        pool = tiny_pool(num_devices=2)
+        injector = FaultInjector().attach(pool)
+        injector.detach()
+        injector.detach()  # second detach: no-op, no error
+        assert pool.fault_injector is None
+        FaultInjector().detach()  # never attached: also a no-op
 
 
 class TestReplicatedPlacement:
@@ -314,6 +355,48 @@ class TestChaosGate:
         assert server.pool.replica_hits == hits_before
         assert server.pool.replica_retries == retries_before
 
+    def test_hang_under_load_self_clears_and_primaries_resume(self):
+        """A transient hang mid-load: replicas absorb it, nothing is lost,
+        and once the fault self-clears and the device is healed, dispatch
+        returns to the primary (hits and retries stop growing)."""
+        rng = derive_rng("chaos-hang")
+        server = make_server(replication=2, num_devices=3)
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector().attach(server.pool)
+        victim = allocation.shards[0][0].device_index
+        futures = []
+        for wave in range(self.WAVES):
+            if wave == self.WAVES // 2:
+                injector.hang(victim, calls=1)  # transient: self-clears
+            vectors = rng.integers(0, 8, size=(self.WAVE_SIZE, self.ROWS))
+            futures.extend(server.submit_batch("model", vectors, input_bits=3))
+            server.tick()
+        server.run_until_idle()
+
+        # Zero lost futures; every rider completed on a replica.
+        assert len(futures) == self.WAVES * self.WAVE_SIZE
+        assert all(f.done() for f in futures)
+        assert {f.result().status for f in futures} == {"completed"}
+        assert server.pending == 0
+        assert server.stats.replica_retries >= 1
+        assert injector.active_faults() == {}  # the hang consumed its budget
+
+        # Heal re-admits the primary: hits and retries go flat afterwards.
+        injector.heal(victim)
+        hits_before = server.pool.replica_hits
+        retries_before = server.pool.replica_retries
+        tail = server.submit_batch(
+            "model", rng.integers(0, 8, size=(self.WAVE_SIZE, self.ROWS)),
+            input_bits=3,
+        )
+        server.run_until_idle()
+        assert all(f.result().status == "completed" for f in tail)
+        assert server.pool.replica_hits == hits_before
+        assert server.pool.replica_retries == retries_before
+
     def test_unreplicated_kill_fails_riders_without_wedging(self):
         """R=1 control: the kill is not absorbed, but nothing is lost either."""
         rng = derive_rng("chaos-r1")
@@ -334,3 +417,248 @@ class TestChaosGate:
         assert all("DeviceFailedError" in r.error for r in responses)
         assert server.stats.failed == 5
         assert server.pending == 0  # scheduler alive, queue drained
+
+
+class TestQuarantine:
+    """Corruption EWMA quarantine and its interplay with restore_device."""
+
+    def _corrupting_pool(self):
+        pool = tiny_pool(num_devices=2, replication=2, verify="full")
+        injector = FaultInjector(seed=5).attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        victim = allocation.shards[0][0].device_index
+        return pool, injector, allocation, victim
+
+    def test_repeat_offender_is_quarantined(self):
+        pool, injector, allocation, victim = self._corrupting_pool()
+        injector.corrupt(victim, calls=3)
+        vectors = np.ones((1, 8), dtype=np.int64)
+        for _ in range(3):
+            out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+            assert np.array_equal(out, vectors)  # replica re-execution wins
+        # Three detections push the EWMA over the default 0.5 threshold.
+        assert pool.corruptions_detected == 3
+        assert pool.integrity_reexecutions == 3
+        assert pool.quarantines == 1
+        assert victim in pool.failed_devices
+        detail = pool.device_health(detail=True)[victim]
+        assert detail["quarantined"] is True
+        assert detail["healthy"] is False
+        assert detail["score"] > 0.5
+        assert detail["corruptions"] == 3
+
+    def test_quarantined_device_stays_out_until_restored(self):
+        pool, injector, allocation, victim = self._corrupting_pool()
+        injector.corrupt(victim, calls=3)
+        vectors = np.ones((1, 8), dtype=np.int64)
+        for _ in range(3):
+            pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert pool.quarantines == 1
+        # Re-arm the corrupt fault: if the victim ever served a call, the
+        # injector's corruption counter would move.  It must not -- a
+        # quarantined device gets no traffic until explicitly restored.
+        injector.corrupt(victim, calls=1)
+        corrupted_before = injector.results_corrupted
+        hits_before = pool.replica_hits
+        for _ in range(4):
+            out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+            assert np.array_equal(out, vectors)
+        assert injector.results_corrupted == corrupted_before
+        assert pool.replica_hits > hits_before
+        assert pool.corruptions_detected == 3  # no new detections either
+
+        # Explicit restore clears the health score and re-admits the device:
+        # the still-armed fault now fires, proving the primary is back.
+        pool.restore_device(victim)
+        detail = pool.device_health(detail=True)[victim]
+        assert detail["quarantined"] is False
+        assert detail["healthy"] is True
+        assert detail["score"] == 0.0
+        out = pool.exec_mvm_batch(allocation, vectors, input_bits=1)
+        assert np.array_equal(out, vectors)  # detected and re-executed again
+        assert injector.results_corrupted == corrupted_before + 1
+        assert pool.corruptions_detected == 4
+
+
+class TestIntegrityGate:
+    """The PR 8 acceptance scenario: seeded corruption mid-load at R=2.
+
+    With ``verify="full"`` every corrupted fan-out result must be detected
+    by the ABFT column-sum check and re-executed on a replica *within the
+    same dispatch call*, so responses and tick latencies stay bit-identical
+    to a fault-free twin.  With ``verify="off"`` the same schedule provably
+    serves wrong answers -- the negative control that shows the checksum
+    layer is load-bearing.
+    """
+
+    ROWS, COLS = 16, 8
+    WAVES = 12
+    WAVE_SIZE = 6
+    CORRUPT_CALLS = 3
+
+    def _run(self, verify, corrupt_at_wave=None):
+        rng = derive_rng("integrity-gate")  # same traffic for every run
+        server = make_server(replication=2, num_devices=3, verify=verify)
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector(seed=11).attach(server.pool)
+        victim = allocation.shards[0][0].device_index
+        futures = []
+        for wave in range(self.WAVES):
+            if wave == corrupt_at_wave:
+                injector.corrupt(victim, calls=self.CORRUPT_CALLS)
+            vectors = rng.integers(0, 8, size=(self.WAVE_SIZE, self.ROWS))
+            futures.extend(server.submit_batch("model", vectors, input_bits=3))
+            server.tick()
+        server.run_until_idle()
+        return server, futures, injector, victim
+
+    def test_full_verification_masks_corruption_bit_identically(self):
+        baseline, base_futures, _, _ = self._run("full")
+        degraded, futures, injector, victim = self._run(
+            "full", corrupt_at_wave=self.WAVES // 2
+        )
+
+        # Zero lost futures, everything completed.
+        assert len(futures) == self.WAVES * self.WAVE_SIZE
+        assert all(f.done() for f in futures)
+        assert {f.result().status for f in futures} == {"completed"}
+        assert degraded.pending == 0
+
+        # Every injected corruption was detected and re-executed.
+        stats = degraded.stats
+        assert injector.results_corrupted == self.CORRUPT_CALLS
+        assert stats.corruptions_detected == self.CORRUPT_CALLS
+        assert stats.reexecutions == stats.corruptions_detected
+        assert stats.integrity_checks > 0
+        assert stats.degraded_batches >= 1
+
+        # Bit-identical to the fault-free twin: results *and* latencies
+        # (detection + re-execution happen inside the dispatch call).
+        for base_future, future in zip(base_futures, futures):
+            base = base_future.result()
+            response = future.result()
+            assert response.status == base.status
+            assert np.array_equal(response.result, base.result)
+            assert response.latency_ticks == base.latency_ticks
+
+        # The repeat offender was quarantined and surfaced in health detail.
+        assert degraded.device_health()[victim] is False
+        assert degraded.device_health(detail=True)[victim]["quarantined"] is True
+
+        # Fault-free full verification is clean: checks ran, nothing fired.
+        assert baseline.stats.integrity_checks > 0
+        assert baseline.stats.corruptions_detected == 0
+        assert baseline.stats.reexecutions == 0
+        assert baseline.stats.degraded_batches == 0
+
+    def test_verify_off_negative_control_serves_wrong_answers(self):
+        clean, clean_futures, _, _ = self._run("off")
+        corrupted, futures, injector, _ = self._run(
+            "off", corrupt_at_wave=self.WAVES // 2
+        )
+        # The exact failure mode the ABFT layer exists to stop: every
+        # future "completes", yet payloads are silently wrong.
+        assert {f.result().status for f in futures} == {"completed"}
+        assert injector.results_corrupted == self.CORRUPT_CALLS
+        assert corrupted.stats.integrity_checks == 0
+        assert corrupted.stats.corruptions_detected == 0
+        differing = sum(
+            not np.array_equal(f.result().result, c.result().result)
+            for f, c in zip(futures, clean_futures)
+        )
+        assert differing >= 1
+
+    def test_audit_mode_counts_but_does_not_mask(self):
+        clean, clean_futures, _, _ = self._run("off")
+        audited, futures, injector, _ = self._run(
+            "audit", corrupt_at_wave=self.WAVES // 2
+        )
+        stats = audited.stats
+        assert {f.result().status for f in futures} == {"completed"}
+        assert stats.corruptions_detected == injector.results_corrupted
+        assert stats.reexecutions == 0  # audit observes, never re-executes
+        differing = sum(
+            not np.array_equal(f.result().result, c.result().result)
+            for f, c in zip(futures, clean_futures)
+        )
+        assert differing >= 1  # corrupted payloads were served as-is
+
+    def test_unreplicated_corruption_exhausts_into_integrity_error(self):
+        pool = tiny_pool(num_devices=1, replication=1, verify="full")
+        injector = FaultInjector(seed=9).attach(pool)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        injector.corrupt(0, calls=4)
+        with pytest.raises(IntegrityError) as excinfo:
+            pool.exec_mvm_batch(
+                allocation, np.ones((1, 8), dtype=np.int64), input_bits=1
+            )
+        assert excinfo.value.kind == "exhausted"
+
+
+class TestRebuildGate:
+    """Kill *all* replicas of a band under load; auto-rebuild restores R."""
+
+    ROWS, COLS = 16, 8
+    WAVES = 12
+    WAVE_SIZE = 6
+
+    def _run(self, auto_rebuild, num_devices=4):
+        rng = derive_rng("rebuild-gate")
+        server = make_server(
+            replication=2, num_devices=num_devices, auto_rebuild=auto_rebuild
+        )
+        matrix = rng.integers(-8, 8, size=(self.ROWS, self.COLS))
+        allocation = server.register_matrix(
+            "model", matrix, element_size=4, input_bits=3
+        )
+        injector = FaultInjector().attach(server.pool)
+        holders = sorted({s.device_index for s, _ in allocation.shards})
+        futures = []
+        for wave in range(self.WAVES):
+            if wave == self.WAVES // 2:
+                for device_index in holders:  # kill every replica at once
+                    injector.kill(device_index)
+            vectors = rng.integers(0, 8, size=(self.WAVE_SIZE, self.ROWS))
+            futures.extend(server.submit_batch("model", vectors, input_bits=3))
+            server.tick()
+        server.run_until_idle()
+        return server, futures, matrix, allocation, holders
+
+    def test_auto_rebuild_restores_replication_with_zero_lost_futures(self):
+        server, futures, matrix, allocation, holders = self._run(
+            auto_rebuild=True
+        )
+        assert len(futures) == self.WAVES * self.WAVE_SIZE
+        assert all(f.done() for f in futures)
+        assert {f.result().status for f in futures} == {"completed"}
+        assert server.pending == 0
+        assert server.stats.rebuilds >= 1
+        assert server.pool.bands_rebuilt >= 1
+
+        # Replication factor is back to R=2 on devices disjoint from the
+        # killed holders, and every band is sourced from the retained matrix.
+        survivors = sorted({s.device_index for s, _ in allocation.shards})
+        assert len(allocation.shards) == 2
+        assert not set(survivors) & set(holders)
+        assert set(server.pool.failed_devices) == set(holders)
+
+        # Post-rebuild results stay exact (int fast path, no planning stall).
+        rng = derive_rng("rebuild-gate-tail")
+        vectors = rng.integers(0, 8, size=(4, self.ROWS))
+        tail = server.submit_batch("model", vectors, input_bits=3)
+        server.run_until_idle()
+        for vector, future in zip(vectors, tail):
+            assert np.array_equal(future.result().result, vector @ matrix)
+
+    def test_without_auto_rebuild_riders_fail_but_nothing_wedges(self):
+        server, futures, _, _, _ = self._run(auto_rebuild=False)
+        assert all(f.done() for f in futures)
+        statuses = {f.result().status for f in futures}
+        assert statuses == {"completed", "failed"}
+        failed = [f.result() for f in futures if f.result().status == "failed"]
+        assert failed and all("every replica" in r.error for r in failed)
+        assert server.pending == 0
+        assert server.stats.rebuilds == 0

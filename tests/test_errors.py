@@ -34,10 +34,12 @@ from repro.errors import (
     DeviceError,
     DeviceFailedError,
     ExecutionError,
+    IntegrityError,
     IsaError,
     MappingError,
     NoDevicesError,
     QuantizationError,
+    RebuildError,
     RegisterLiveError,
     ReplicationError,
     ReproError,
@@ -191,6 +193,44 @@ class TestReplicationErrorFields:
         assert issubclass(ReplicationError, AllocationError)
 
 
+class TestIntegrityErrorFields:
+    def test_corruption_exhausts_into_integrity_error(self):
+        # Public-API provocation: an unreplicated pool in full-verification
+        # mode has no replica to re-execute on, so a corrupted result
+        # surfaces as IntegrityError(kind="exhausted").
+        pool = small_pool(num_devices=1, verify="full")
+        allocation = pool.set_matrix(np.eye(4, dtype=np.int64))
+        injector = FaultInjector(seed=3).attach(pool)
+        injector.corrupt(0, calls=4)
+        with pytest.raises(IntegrityError) as excinfo:
+            pool.exec_mvm_batch(allocation, np.ones((1, 4), dtype=np.int64),
+                                input_bits=2)
+        assert excinfo.value.kind == "exhausted"
+        assert excinfo.value.device_index == 0
+        assert excinfo.value.band == 0
+
+    def test_is_a_device_error(self):
+        # Documented: a checksum mismatch is a *device*-level failure, so
+        # existing DeviceError handlers see it without new except clauses.
+        assert issubclass(IntegrityError, DeviceError)
+
+
+class TestRebuildErrorFields:
+    def test_no_capacity_anywhere(self):
+        pool = small_pool(num_devices=2, replication=2)
+        allocation = pool.set_matrix(np.eye(4, dtype=np.int64))
+        pool.mark_device_failed(0)
+        pool.mark_device_failed(1)
+        with pytest.raises(RebuildError) as excinfo:
+            pool.rebuild(allocation)
+        assert excinfo.value.allocation_id == allocation.allocation_id
+        assert excinfo.value.band == 0
+        assert "rebuilt" in str(excinfo.value)
+
+    def test_is_an_allocation_error(self):
+        assert issubclass(RebuildError, AllocationError)
+
+
 class TestHierarchy:
     """The documented lattice, asserted explicitly."""
 
@@ -210,6 +250,8 @@ class TestHierarchy:
         (RegisterLiveError, ExecutionError),
         (DeviceError, ReproError),
         (DeviceFailedError, DeviceError),
+        (IntegrityError, DeviceError),
+        (RebuildError, AllocationError),
         (QuantizationError, ReproError),
     ])
     def test_subclassing(self, child, parent):
@@ -227,7 +269,8 @@ class TestHierarchy:
             "SchedulerError", "AdmissionError", "SloError", "MappingError",
             "IsaError",
             "ExecutionError", "ArbiterConflictError", "RegisterLiveError",
-            "DeviceError", "DeviceFailedError", "QuantizationError",
+            "DeviceError", "DeviceFailedError", "IntegrityError",
+            "RebuildError", "QuantizationError",
         }
         assert public == covered, (
             "public exceptions changed; update tests/test_errors.py: "
