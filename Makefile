@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench integrity-bench sched-bench plan-dump profile profile-server lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench integrity-bench sched-bench cluster-bench cluster-demo plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -78,6 +78,19 @@ integrity-bench:
 # benchmarks job does) to also append to BENCH_scheduling.json.
 sched-bench:
 	$(PY) -m pytest benchmarks/test_scheduling.py -q
+
+# Cluster scaling gate: multi-process workers vs the GIL (>=2x aggregate
+# throughput 1 -> 4 workers on the noisy preset when >=4 cores are
+# available; transport sanity floor otherwise), open-loop Poisson p50/p99,
+# and the kill-one-worker recovery blip.  Writes
+# benchmarks/artifacts/cluster.json; set REPRO_BENCH_RECORD=1 (as the CI
+# cluster job does) to also append to BENCH_cluster.json.
+cluster-bench:
+	$(PY) -m pytest benchmarks/test_cluster_scaling.py -q
+
+# Run the scale-out quickstart (gateway + 2 replicated worker processes).
+cluster-demo:
+	$(PY) examples/cluster.py
 
 # Pretty-print a sample compiled execution plan (MvmPlan + ShardedPlan).
 plan-dump:

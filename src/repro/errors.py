@@ -172,3 +172,43 @@ class RebuildError(AllocationError):
 
 class QuantizationError(ReproError):
     """A value cannot be represented with the requested precision."""
+
+
+class ClusterError(ReproError):
+    """A cluster-tier failure (gateway, worker process, or transport)."""
+
+
+class TransportError(ClusterError):
+    """A shared-memory transport frame is malformed or corrupted.
+
+    Raised by the ring-buffer codec when a frame fails its CRC (a torn or
+    corrupted write) or its header cannot be decoded.  The ring itself
+    stays usable: the reader position advances past the bad frame, so one
+    corrupted message never wedges the channel.
+    """
+
+
+class WorkerFailedError(ClusterError):
+    """A cluster worker process died or stopped heartbeating.
+
+    The gateway treats it like :class:`DeviceFailedError` one level up:
+    work inflight to the worker is re-routed to surviving workers holding
+    a replica of the matrix, and only when no replica is left do the
+    affected futures resolve with ``status="failed"``.
+
+    Attributes
+    ----------
+    worker_id:
+        Gateway index of the failed worker.
+    kind:
+        ``"dead"`` (process exited), ``"stale"`` (heartbeat timed out),
+        or ``"saturated"`` (used internally when every replica's inflight
+        window is full).
+    """
+
+    def __init__(self, worker_id: int, kind: str = "dead",
+                 message: str = "") -> None:
+        self.worker_id = worker_id
+        self.kind = kind
+        detail = message or f"cluster worker {worker_id} failed ({kind})"
+        super().__init__(detail)

@@ -32,6 +32,7 @@ from .ir import (
     HctMvmResult,
     MvmPlan,
     PlanCostModel,
+    PlanHandle,
     PlanStep,
     ReductionStep,
     ShardTask,
@@ -49,6 +50,7 @@ __all__ = [
     "HctMvmResult",
     "MvmPlan",
     "PlanCostModel",
+    "PlanHandle",
     "PlanStep",
     "Planner",
     "ReductionStep",

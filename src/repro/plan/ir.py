@@ -27,6 +27,7 @@ optimisers use to make repeated executions cheap and retargetable:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
@@ -39,6 +40,7 @@ __all__ = [
     "HctMvmResult",
     "MvmPlan",
     "PlanCostModel",
+    "PlanHandle",
     "PlanStep",
     "ReductionStep",
     "ShardTask",
@@ -458,6 +460,99 @@ class MvmPlan:
             f"{cost.steps_per_vector} steps/vector"
         )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanHandle:
+    """Process-portable cost surrogate of a compiled execution plan.
+
+    A full :class:`MvmPlan` is deliberately *not* serializable: it holds
+    live ACE/handle references, lazily built shard kernels, and cache
+    identity that only means anything inside the owning process.  Sharing
+    scheduling information across a process boundary (the cluster gateway
+    routing work to device-worker processes) needs none of that -- only
+    the closed-form cost surface.  ``PlanHandle`` captures the two samples
+    that pin the (affine in batch) predicted-cycle model plus the
+    predicted per-vector energy, and round-trips through ``to_bytes`` /
+    ``from_bytes`` with no pickling.
+
+    >>> handle = PlanHandle(shape=(8, 8), input_bits=4,
+    ...                     base_cycles=100.0, cycles_per_vector=25.0,
+    ...                     energy_per_vector_pj=3.5)
+    >>> PlanHandle.from_bytes(handle.to_bytes()) == handle
+    True
+    >>> handle.predicted_cycles(4)
+    200.0
+    """
+
+    #: Logical (rows, cols) shape of the planned matrix.
+    shape: Tuple[int, int]
+    #: Input precision the plan was compiled for.
+    input_bits: int
+    #: Fixed cost of one dispatch (cycles at batch size zero).
+    base_cycles: float
+    #: Marginal cycles of each additional vector in the batch.
+    cycles_per_vector: float
+    #: Predicted analog-phase energy per vector, in pJ.
+    energy_per_vector_pj: float
+
+    #: Struct layout of the serialized form (see ``to_bytes``).
+    _STRUCT = struct.Struct("<IIIddd")
+
+    def predicted_cycles(self, batch: int) -> float:
+        """Predicted cycles of one ``batch``-vector dispatch."""
+        return self.base_cycles + self.cycles_per_vector * batch
+
+    def predicted_energy_pj(self, batch: int) -> float:
+        """Predicted analog-phase energy (pJ) of one ``batch`` dispatch."""
+        return self.energy_per_vector_pj * batch
+
+    @classmethod
+    def from_cost_samples(
+        cls,
+        shape: Tuple[int, int],
+        input_bits: int,
+        cycles_at_1: float,
+        cycles_at_17: float,
+        energy_per_vector_pj: float,
+    ) -> "PlanHandle":
+        """Fit the affine cycle model from two predicted-cycle samples.
+
+        ``cycles_at_17 - cycles_at_1`` spans 16 extra vectors, so the
+        slope is exact for any cost model affine in the batch size and a
+        secant approximation otherwise (good enough for routing).
+        """
+        slope = max(0.0, (cycles_at_17 - cycles_at_1) / 16.0)
+        base = max(0.0, cycles_at_1 - slope)
+        return cls(
+            shape=(int(shape[0]), int(shape[1])),
+            input_bits=int(input_bits),
+            base_cycles=base,
+            cycles_per_vector=slope,
+            energy_per_vector_pj=float(energy_per_vector_pj),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width binary form, safe to cross a process boundary."""
+        return self._STRUCT.pack(
+            self.shape[0], self.shape[1], self.input_bits,
+            self.base_cycles, self.cycles_per_vector,
+            self.energy_per_vector_pj,
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PlanHandle":
+        """Inverse of :meth:`to_bytes`."""
+        try:
+            rows, cols, input_bits, base, slope, energy = cls._STRUCT.unpack(
+                payload
+            )
+        except struct.error as exc:
+            raise ValueError(f"malformed PlanHandle payload: {exc}") from exc
+        return cls(
+            shape=(rows, cols), input_bits=input_bits, base_cycles=base,
+            cycles_per_vector=slope, energy_per_vector_pj=energy,
+        )
 
 
 @dataclass(frozen=True)

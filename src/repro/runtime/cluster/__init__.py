@@ -1,0 +1,46 @@
+"""Scale-out cluster tier: multi-process workers behind an asyncio gateway.
+
+The single-server stack (:class:`~repro.runtime.server.PumServer` over a
+:class:`~repro.runtime.pool.DevicePool`) parallelizes device execution
+with threads, which leaves every Python slice of the pipeline --
+planning glue, noise modelling, batch assembly -- serialized on one GIL.
+This package scales past that by running each server shard in its own
+OS process:
+
+* :mod:`transport <repro.runtime.cluster.transport>` -- shared-memory
+  SPSC ring buffers with CRC-protected frames (zero-copy payloads, torn
+  -write detection) plus the heartbeat board;
+* :mod:`messages <repro.runtime.cluster.messages>` -- the framed wire
+  protocol (tiny JSON headers, raw ndarray payloads, never pickle);
+* :mod:`worker <repro.runtime.cluster.worker>` -- the per-process
+  command loop owning chips and a ``PumServer`` shard;
+* :mod:`gateway <repro.runtime.cluster.gateway>` -- the asyncio front
+  door: rendezvous placement, cost-aware replica routing, bounded
+  inflight windows, heartbeat health checks, retry-on-replica failover,
+  and graceful drain/restart.
+
+Import this package explicitly (``from repro.runtime.cluster import
+ClusterGateway``); ``repro.runtime`` does not re-export it, so the
+single-process stack never pays the multiprocessing import.
+"""
+
+from .gateway import ClusterGateway, ClusterResponse, GatewayStats
+from .messages import STATUS_CODES, STATUS_NAMES, decode_message, encode_message
+from .transport import HeartbeatBoard, ShmRing, decode_array, encode_array
+from .worker import build_worker_server, worker_main
+
+__all__ = [
+    "ClusterGateway",
+    "ClusterResponse",
+    "GatewayStats",
+    "HeartbeatBoard",
+    "STATUS_CODES",
+    "STATUS_NAMES",
+    "ShmRing",
+    "build_worker_server",
+    "decode_array",
+    "decode_message",
+    "encode_array",
+    "encode_message",
+    "worker_main",
+]

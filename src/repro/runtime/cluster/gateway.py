@@ -1,0 +1,896 @@
+"""Asyncio cluster gateway: placement, routing, health, and backpressure.
+
+The gateway is the single front door of a scale-out serving cluster.  It
+owns the worker processes (each a :mod:`worker
+<repro.runtime.cluster.worker>` running its own
+:class:`~repro.runtime.server.PumServer` shard), the shared-memory rings
+connecting them, and the client-facing ``submit`` / ``submit_batch``
+API, which hands back :class:`asyncio.Future` objects resolved by a
+background *response pump* as RESULTS frames arrive.
+
+Design points, mirroring the single-server stack one tier up:
+
+* **Consistent placement.**  A matrix is placed at registration time by
+  rendezvous (highest-random-weight) hashing of its content digest --
+  the same sha256 fingerprint the server's registration memo uses -- so
+  placement is deterministic, re-registration of identical bytes is a
+  no-op, and adding workers moves the minimum number of matrices.  With
+  ``replication=R`` the top-R workers each hold a full copy.
+* **Cost-aware routing.**  Each worker's REGISTERED reply carries a
+  serialized :class:`~repro.plan.ir.PlanHandle`; the gateway scores
+  replicas by predicted outstanding cycles (the cluster analogue of the
+  pool's predicted-finish-time policy) and routes each batch to the
+  cheapest live replica.
+* **Backpressure.**  Every worker has a bounded inflight window
+  (vectors in flight, not bytes); a batch that fits no live replica's
+  window -- or no ring -- is shed *to the caller* as
+  :class:`~repro.errors.AdmissionError` rather than queued without
+  bound, exactly like the server's ``admission="reject"`` mode.
+* **Health.**  Workers beat a shared heartbeat board; a health task
+  feeds missed beats and dead processes into the same
+  :class:`~repro.runtime.integrity.DeviceHealth` EWMA/quarantine
+  machinery the pool uses per chip.  A failed worker's inflight batches
+  are retried on surviving replicas when placement allows, and resolved
+  ``status="failed"`` (never lost) when it does not.
+* **Drain/restart.**  ``drain_worker`` fences routing and waits for the
+  window to empty; ``restart_worker`` respawns the process on fresh
+  rings and replays matrix registrations, so rolling restarts lose no
+  futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import (
+    AdmissionError,
+    ClusterError,
+    TransportError,
+    WorkerFailedError,
+)
+from ...plan.ir import PlanHandle
+from ..integrity import DeviceHealth
+from .messages import (
+    K_ACK,
+    K_DRAIN,
+    K_ERROR,
+    K_READY,
+    K_REGISTER,
+    K_REGISTERED,
+    K_RESULTS,
+    K_STOP,
+    K_SUBMIT,
+    STATUS_NAMES,
+    decode_message,
+    encode_message,
+)
+from .transport import HeartbeatBoard, ShmRing
+from .worker import worker_main
+
+__all__ = ["ClusterGateway", "ClusterResponse", "GatewayStats"]
+
+
+@dataclass(frozen=True)
+class ClusterResponse:
+    """Terminal state of one gateway request (the cluster's Response)."""
+
+    request_id: int
+    name: str
+    status: str
+    result: Optional[np.ndarray]
+    latency_ticks: int = 0
+    energy_pj: float = 0.0
+    worker_id: int = -1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request completed successfully."""
+        return self.status == "completed"
+
+
+@dataclass
+class GatewayStats:
+    """Aggregate gateway telemetry (all counters lifetime)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    batches: int = 0
+    retried_batches: int = 0
+    worker_failures: int = 0
+    restarts: int = 0
+    registration_reuses: int = 0
+    transport_errors: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy as a plain dict."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "batches": self.batches,
+            "retried_batches": self.retried_batches,
+            "worker_failures": self.worker_failures,
+            "restarts": self.restarts,
+            "registration_reuses": self.registration_reuses,
+            "transport_errors": self.transport_errors,
+        }
+
+
+@dataclass
+class _PendingBatch:
+    """One batch in flight to a worker (kept until its RESULTS arrive)."""
+
+    batch_id: int
+    name: str
+    input_bits: int
+    vectors: np.ndarray
+    futures: List[asyncio.Future]
+    request_ids: List[int]
+    worker_id: int
+    cost: float
+    attempted: set = field(default_factory=set)
+
+
+@dataclass
+class _MatrixRecord:
+    """Everything needed to route for -- and re-register -- one matrix."""
+
+    fingerprint: Tuple
+    matrix: np.ndarray
+    element_size: int
+    precision: int
+    input_bits: int
+    placement: List[int]
+
+
+class _Worker:
+    """Gateway-side handle of one worker process and its transport."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.requests: Optional[ShmRing] = None
+        self.replies: Optional[ShmRing] = None
+        self.health = DeviceHealth()
+        self.alive = False
+        self.draining = False
+        self.inflight = 0
+        self.outstanding_cycles = 0.0
+        self.pending: Dict[int, _PendingBatch] = {}
+        self.plan_handles: Dict[str, PlanHandle] = {}
+        self.last_beats = 0
+        self.last_progress = 0.0
+
+    @property
+    def routable(self) -> bool:
+        """Whether new traffic may be placed on this worker."""
+        return self.alive and not self.draining and not self.health.quarantined
+
+
+class ClusterGateway:
+    """Front door of a multi-process serving cluster.
+
+    Async context manager::
+
+        async with ClusterGateway(num_workers=4) as gateway:
+            await gateway.register_matrix("w", matrix)
+            futures = await gateway.submit_batch("w", vectors)
+            responses = await asyncio.gather(*futures)
+
+    Construction only records configuration; :meth:`start` (or entering
+    the context) creates the shared-memory transport, spawns the worker
+    processes, and launches the response-pump and health-monitor tasks.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        devices_per_worker: int = 1,
+        replication: int = 1,
+        chip: Optional[str] = "small",
+        num_hcts: int = 3,
+        noise: Optional[str] = None,
+        backend: Optional[str] = None,
+        policy: str = "cache_affinity",
+        max_batch: Optional[int] = None,
+        max_wait_ticks: Optional[int] = None,
+        queue_capacity: int = 4096,
+        verify: str = "off",
+        inflight_window: int = 1024,
+        ring_capacity: int = 1 << 22,
+        poll_interval: float = 5e-4,
+        heartbeat_interval: float = 0.05,
+        liveness_timeout: float = 5.0,
+        control_timeout: float = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ClusterError(
+                f"a cluster needs at least one worker (got {num_workers})"
+            )
+        if not 1 <= replication <= num_workers:
+            raise ClusterError(
+                f"replication {replication} must be within [1, num_workers="
+                f"{num_workers}]"
+            )
+        if inflight_window < 1:
+            raise ClusterError("inflight_window must be >= 1")
+        self.num_workers = num_workers
+        self.replication = replication
+        self.inflight_window = inflight_window
+        self.ring_capacity = ring_capacity
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.control_timeout = control_timeout
+        self._spec_base = {
+            "num_devices": devices_per_worker,
+            "chip": chip,
+            "num_hcts": num_hcts,
+            "noise": noise,
+            "backend": backend,
+            "policy": policy,
+            "max_batch": max_batch,
+            "max_wait_ticks": max_wait_ticks,
+            "queue_capacity": queue_capacity,
+            "verify": verify,
+        }
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.stats = GatewayStats()
+        self._workers = [_Worker(index) for index in range(num_workers)]
+        self._matrices: Dict[str, _MatrixRecord] = {}
+        self._control: Dict[Tuple, asyncio.Future] = {}
+        self._board: Optional[HeartbeatBoard] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._next_request = 0
+        self._next_batch = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ClusterGateway":
+        """Create the transport, spawn every worker, and await readiness."""
+        if self._started:
+            return self
+        self._started = True
+        self._board = HeartbeatBoard(num_slots=self.num_workers, create=True)
+        ready = [self._expect(("ready", worker.worker_id))
+                 for worker in self._workers]
+        for worker in self._workers:
+            self._spawn(worker)
+        self._pump_task = asyncio.create_task(self._pump())
+        self._health_task = asyncio.create_task(self._health())
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*ready), timeout=self.control_timeout
+            )
+        except asyncio.TimeoutError:
+            await self.close()
+            raise ClusterError(
+                f"cluster workers failed to come up within "
+                f"{self.control_timeout}s"
+            ) from None
+        now = time.monotonic()
+        for worker in self._workers:
+            worker.alive = True
+            worker.last_progress = now
+        return self
+
+    def _spawn(self, worker: _Worker) -> None:
+        """Create fresh rings for ``worker`` and launch its process."""
+        worker.requests = ShmRing(capacity=self.ring_capacity, create=True)
+        worker.replies = ShmRing(capacity=self.ring_capacity, create=True)
+        spec = dict(self._spec_base)
+        spec.update(
+            worker_id=worker.worker_id,
+            request_ring=worker.requests.name,
+            response_ring=worker.replies.name,
+            board=self._board.name,
+        )
+        worker.process = self._ctx.Process(
+            target=worker_main, args=(spec,), daemon=True,
+            name=f"pum-worker-{worker.worker_id}",
+        )
+        worker.process.start()
+
+    async def close(self) -> None:
+        """Stop every worker and release the shared-memory transport."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+        for worker in self._workers:
+            if worker.alive and worker.requests is not None:
+                worker.requests.push(encode_message(K_STOP, {}))
+        deadline = time.monotonic() + 5.0
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            while process.is_alive() and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        # Await the cancelled tasks so their frames (and any ring views
+        # held in locals) are torn down before the segments close.
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        if self._health_task is not None:
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        for worker in self._workers:
+            for batch in worker.pending.values():
+                self._resolve_batch_failed(
+                    worker, batch, "gateway closed with requests in flight"
+                )
+            worker.pending.clear()
+            if worker.requests is not None:
+                worker.requests.close()
+            if worker.replies is not None:
+                worker.replies.close()
+            worker.alive = False
+        if self._board is not None:
+            self._board.close()
+        for future in self._control.values():
+            if not future.done():
+                future.cancel()
+        self._control.clear()
+
+    async def __aenter__(self) -> "ClusterGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Placement and registration                                           #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fingerprint(matrix: np.ndarray, element_size: int,
+                     precision: int) -> Tuple[str, Tuple[int, ...], int, int]:
+        """Content fingerprint; identical to the server's registration memo."""
+        canonical = np.ascontiguousarray(np.asarray(matrix).astype(np.int64))
+        digest = hashlib.sha256(canonical.tobytes()).hexdigest()
+        return (digest, canonical.shape, element_size, precision)
+
+    def _rendezvous(self, digest: str) -> List[int]:
+        """Highest-random-weight placement of a digest over all workers."""
+        scored = sorted(
+            range(self.num_workers),
+            key=lambda worker_id: hashlib.sha256(
+                f"{digest}:{worker_id}".encode()
+            ).hexdigest(),
+            reverse=True,
+        )
+        return scored[: self.replication]
+
+    async def register_matrix(
+        self,
+        name: str,
+        matrix: np.ndarray,
+        element_size: int = 8,
+        precision: int = 0,
+        input_bits: int = 8,
+    ) -> List[int]:
+        """Place ``matrix`` under ``name``; returns the holding worker ids.
+
+        Re-registering byte-identical content under the same name is a
+        no-op (``registration_reuses``), mirroring the server-level memo:
+        the workers' programmed shards and plan caches stay untouched.
+        """
+        self._require_running()
+        fingerprint = self._fingerprint(matrix, element_size, precision)
+        record = self._matrices.get(name)
+        if record is not None and record.fingerprint == fingerprint \
+                and record.input_bits == input_bits:
+            self.stats.registration_reuses += 1
+            return list(record.placement)
+        canonical = np.ascontiguousarray(np.asarray(matrix).astype(np.int64))
+        placement = self._rendezvous(fingerprint[0])
+        record = _MatrixRecord(
+            fingerprint=fingerprint, matrix=canonical,
+            element_size=element_size, precision=precision,
+            input_bits=input_bits, placement=placement,
+        )
+        await asyncio.gather(*[
+            self._register_on(self._workers[worker_id], record, name)
+            for worker_id in placement
+        ])
+        self._matrices[name] = record
+        return list(placement)
+
+    async def _register_on(self, worker: _Worker, record: _MatrixRecord,
+                           name: str) -> None:
+        """Push one REGISTER and await the worker's REGISTERED reply."""
+        pending = self._expect(("registered", worker.worker_id, name))
+        frame = encode_message(K_REGISTER, {
+            "name": name,
+            "element_size": record.element_size,
+            "precision": record.precision,
+            "input_bits": record.input_bits,
+        }, [record.matrix])
+        if worker.requests is None or not worker.requests.push(frame):
+            pending.cancel()
+            raise ClusterError(
+                f"worker {worker.worker_id} request ring is full during "
+                f"registration of {name!r}"
+            )
+        try:
+            handle = await asyncio.wait_for(
+                pending, timeout=self.control_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ClusterError(
+                f"worker {worker.worker_id} did not acknowledge registration "
+                f"of {name!r} within {self.control_timeout}s"
+            ) from None
+        worker.plan_handles[name] = handle
+
+    def plan_handle(self, name: str) -> PlanHandle:
+        """The serialized-across-the-wire cost handle of ``name``."""
+        record = self._record(name)
+        for worker_id in record.placement:
+            handle = self._workers[worker_id].plan_handles.get(name)
+            if handle is not None:
+                return handle
+        raise ClusterError(f"no plan handle recorded for {name!r}")
+
+    def placement_of(self, name: str) -> List[int]:
+        """Worker ids holding ``name`` (rendezvous order)."""
+        return list(self._record(name).placement)
+
+    def _record(self, name: str) -> _MatrixRecord:
+        record = self._matrices.get(name)
+        if record is None:
+            raise AdmissionError(f"no matrix registered under {name!r}")
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Submission                                                           #
+    # ------------------------------------------------------------------ #
+    async def submit(self, name: str, vector: np.ndarray,
+                     input_bits: int = 8) -> asyncio.Future:
+        """Admit one vector; returns the future of its ClusterResponse."""
+        futures = await self.submit_batch(
+            name, np.asarray(vector).reshape(1, -1), input_bits=input_bits
+        )
+        return futures[0]
+
+    async def submit_batch(self, name: str, vectors: np.ndarray,
+                           input_bits: int = 8) -> List[asyncio.Future]:
+        """Admit ``(n, rows)`` vectors; returns one future per row.
+
+        The batch is routed whole to the cheapest live replica of
+        ``name`` (by predicted outstanding cycles) whose inflight window
+        has room; when every replica is saturated -- window full or ring
+        full -- the batch is shed to the caller as
+        :class:`AdmissionError`, never queued without bound.
+        """
+        self._require_running()
+        record = self._record(name)
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.int64))
+        if vectors.ndim != 2:
+            raise AdmissionError(
+                f"submit_batch expects a 2-D (n, rows) array, got shape "
+                f"{vectors.shape}"
+            )
+        n = vectors.shape[0]
+        if n == 0:
+            return []
+        if n > self.inflight_window:
+            self.stats.shed += n
+            raise AdmissionError(
+                f"batch of {n} exceeds the per-worker inflight window "
+                f"({self.inflight_window})"
+            )
+        candidates = [
+            self._workers[worker_id]
+            for worker_id in record.placement
+            if self._workers[worker_id].routable
+        ]
+        if not candidates:
+            self.stats.shed += n
+            raise AdmissionError(
+                f"no live replica of {name!r} "
+                f"(placement {record.placement})"
+            )
+        candidates.sort(key=lambda worker: worker.outstanding_cycles)
+        batch = self._make_batch(record, name, vectors, input_bits)
+        for worker in candidates:
+            if worker.inflight + n > self.inflight_window:
+                continue
+            if self._dispatch(worker, batch):
+                return batch.futures
+        # Saturated everywhere: shed to the caller.
+        for future in batch.futures:
+            future.cancel()
+        self.stats.shed += n
+        raise AdmissionError(
+            f"every replica of {name!r} is saturated "
+            f"(inflight window {self.inflight_window})"
+        )
+
+    def _make_batch(self, record: _MatrixRecord, name: str,
+                    vectors: np.ndarray, input_bits: int) -> _PendingBatch:
+        loop = asyncio.get_running_loop()
+        n = vectors.shape[0]
+        request_ids = list(range(self._next_request, self._next_request + n))
+        self._next_request += n
+        batch_id = self._next_batch
+        self._next_batch += 1
+        handle = None
+        for worker_id in record.placement:
+            handle = self._workers[worker_id].plan_handles.get(name)
+            if handle is not None:
+                break
+        cost = handle.predicted_cycles(n) if handle is not None else float(n)
+        return _PendingBatch(
+            batch_id=batch_id, name=name, input_bits=input_bits,
+            vectors=vectors, futures=[loop.create_future() for _ in range(n)],
+            request_ids=request_ids, worker_id=-1, cost=cost,
+        )
+
+    def _dispatch(self, worker: _Worker, batch: _PendingBatch) -> bool:
+        """Push ``batch`` onto ``worker``'s request ring; False when full."""
+        frame = encode_message(K_SUBMIT, {
+            "batch": batch.batch_id,
+            "name": batch.name,
+            "input_bits": batch.input_bits,
+        }, [batch.vectors])
+        if worker.requests is None or not worker.requests.push(frame):
+            return False
+        n = batch.vectors.shape[0]
+        batch.worker_id = worker.worker_id
+        batch.attempted.add(worker.worker_id)
+        worker.pending[batch.batch_id] = batch
+        worker.inflight += n
+        worker.outstanding_cycles += batch.cost
+        self.stats.submitted += n
+        self.stats.batches += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Response pump                                                        #
+    # ------------------------------------------------------------------ #
+    async def _pump(self) -> None:
+        """Drain every worker's reply ring, resolving futures."""
+        while True:
+            progressed = False
+            for worker in self._workers:
+                if worker.replies is None:
+                    continue
+                try:
+                    payload = worker.replies.peek()
+                except TransportError:
+                    self.stats.transport_errors += 1
+                    continue
+                if payload is None:
+                    continue
+                progressed = True
+                try:
+                    kind, header, arrays = decode_message(payload)
+                    self._on_reply(worker, kind, header, arrays)
+                except TransportError:
+                    self.stats.transport_errors += 1
+                finally:
+                    worker.replies.advance()
+                    # Drop the frame views so a ring closed later (e.g. by
+                    # restart_worker) has no exported pointers left.
+                    payload = arrays = None
+            if progressed:
+                await asyncio.sleep(0)
+            else:
+                await asyncio.sleep(self.poll_interval)
+
+    def _on_reply(self, worker: _Worker, kind: int, header: Dict[str, Any],
+                  arrays: Sequence[np.ndarray]) -> None:
+        if kind == K_RESULTS:
+            self._on_results(worker, header, arrays)
+        elif kind == K_REGISTERED:
+            handle = PlanHandle.from_bytes(bytes.fromhex(header["handle"]))
+            self._resolve(
+                ("registered", worker.worker_id, header["name"]), handle
+            )
+        elif kind == K_READY:
+            self._resolve(("ready", worker.worker_id), header)
+        elif kind == K_ACK:
+            if header.get("drain"):
+                self._resolve(("drain", worker.worker_id),
+                              header.get("stats", {}))
+            elif "stopped" in header:
+                self._resolve(("stop", worker.worker_id), True)
+            else:
+                self._resolve(
+                    ("ping", worker.worker_id, header.get("nonce")), True
+                )
+        elif kind == K_ERROR:
+            batch_id = header.get("batch")
+            batch = worker.pending.pop(batch_id, None) \
+                if batch_id is not None else None
+            if batch is not None:
+                self._release_window(worker, batch)
+                self._resolve_batch_failed(
+                    worker, batch, header.get("error", "worker error")
+                )
+                return
+            # A failed registration must fail its awaiter, not time out.
+            name = header.get("name")
+            pending = self._control.pop(
+                ("registered", worker.worker_id, name), None
+            ) if name else None
+            if pending is not None and not pending.done():
+                pending.set_exception(ClusterError(
+                    header.get("error", f"registration of {name!r} failed")
+                ))
+            else:
+                self.stats.transport_errors += 1
+
+    def _on_results(self, worker: _Worker, header: Dict[str, Any],
+                    arrays: Sequence[np.ndarray]) -> None:
+        batch = worker.pending.pop(header.get("batch"), None)
+        if batch is None:  # late reply of a batch already retried elsewhere
+            return
+        statuses, results, latency, energy = arrays
+        # The views die with the frame; one copy of the result matrix
+        # outlives it and every row below is a view of that copy.
+        results = np.array(results)
+        errors = header.get("errors", {})
+        self._release_window(worker, batch)
+        for index, future in enumerate(batch.futures):
+            status = STATUS_NAMES.get(int(statuses[index]), "failed")
+            response = ClusterResponse(
+                request_id=batch.request_ids[index],
+                name=batch.name,
+                status=status,
+                result=results[index] if status == "completed" else None,
+                latency_ticks=int(latency[index]),
+                energy_pj=float(energy[index]),
+                worker_id=worker.worker_id,
+                error=errors.get(str(index)),
+            )
+            if not future.done():
+                future.set_result(response)
+            if status == "completed":
+                self.stats.completed += 1
+            elif status == "shed":
+                self.stats.shed += 1
+            else:
+                self.stats.failed += 1
+        worker.health.record_ok()
+
+    def _release_window(self, worker: _Worker, batch: _PendingBatch) -> None:
+        worker.inflight = max(0, worker.inflight - batch.vectors.shape[0])
+        worker.outstanding_cycles = max(
+            0.0, worker.outstanding_cycles - batch.cost
+        )
+
+    def _resolve_batch_failed(self, worker: _Worker, batch: _PendingBatch,
+                              error: str) -> None:
+        for index, future in enumerate(batch.futures):
+            if future.done():
+                continue
+            future.set_result(ClusterResponse(
+                request_id=batch.request_ids[index], name=batch.name,
+                status="failed", result=None,
+                worker_id=worker.worker_id, error=error,
+            ))
+            self.stats.failed += 1
+
+    # ------------------------------------------------------------------ #
+    # Health monitoring and failover                                       #
+    # ------------------------------------------------------------------ #
+    async def _health(self) -> None:
+        """Watch heartbeats; fail workers that die or stop beating."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = time.monotonic()
+            for worker in self._workers:
+                if not worker.alive or self._board is None:
+                    continue
+                beats, _ = self._board.read(worker.worker_id)
+                if beats != worker.last_beats:
+                    worker.last_beats = beats
+                    worker.last_progress = now
+                    continue
+                if worker.process is not None and not worker.process.is_alive():
+                    self._fail_worker(worker, "dead")
+                elif now - worker.last_progress > self.liveness_timeout:
+                    self._fail_worker(worker, "stale")
+
+    def _fail_worker(self, worker: _Worker, kind: str) -> None:
+        """Quarantine ``worker`` and re-home or fail its inflight batches."""
+        if not worker.alive:
+            return
+        worker.alive = False
+        self.stats.worker_failures += 1
+        if worker.health.record_failure():
+            worker.health.quarantined = True
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.terminate()
+        reason = WorkerFailedError(worker.worker_id, kind)
+        stranded = list(worker.pending.values())
+        worker.pending.clear()
+        worker.inflight = 0
+        worker.outstanding_cycles = 0.0
+        for batch in stranded:
+            batch.attempted.add(worker.worker_id)
+            if not self._retry(batch):
+                self._resolve_batch_failed(worker, batch, str(reason))
+
+    def _retry(self, batch: _PendingBatch) -> bool:
+        """Re-dispatch a stranded batch on a surviving replica.
+
+        Retries deliberately bypass the inflight window -- shedding an
+        *already admitted* request would lose its future; the window
+        throttles new admissions only.
+        """
+        record = self._matrices.get(batch.name)
+        if record is None:
+            return False
+        survivors = [
+            self._workers[worker_id]
+            for worker_id in record.placement
+            if worker_id not in batch.attempted
+            and self._workers[worker_id].routable
+        ]
+        survivors.sort(key=lambda worker: worker.outstanding_cycles)
+        for worker in survivors:
+            if self._dispatch(worker, batch):
+                self.stats.retried_batches += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Drain and restart                                                    #
+    # ------------------------------------------------------------------ #
+    async def drain_worker(self, worker_id: int) -> Dict[str, float]:
+        """Fence ``worker_id`` from new traffic and flush it.
+
+        Returns the worker server's own :meth:`ServingStats.snapshot`
+        once every inflight request has resolved -- nothing is dropped.
+        """
+        self._require_running()
+        worker = self._workers[worker_id]
+        worker.draining = True
+        deadline = time.monotonic() + self.control_timeout
+        while worker.inflight and worker.alive:
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"worker {worker_id} failed to drain within "
+                    f"{self.control_timeout}s ({worker.inflight} inflight)"
+                )
+            await asyncio.sleep(self.poll_interval)
+        if not worker.alive:
+            return {}
+        pending = self._expect(("drain", worker_id))
+        if worker.requests is None or \
+                not worker.requests.push(encode_message(K_DRAIN, {})):
+            pending.cancel()
+            raise ClusterError(f"worker {worker_id} request ring is full")
+        return await asyncio.wait_for(pending, timeout=self.control_timeout)
+
+    async def restart_worker(self, worker_id: int,
+                             graceful: bool = True) -> None:
+        """Replace ``worker_id``'s process (drain first when graceful).
+
+        The replacement comes up on fresh rings (a crashed worker may
+        have left torn frames behind), has every matrix placed on it
+        re-registered, and rejoins routing with reset health -- the
+        cluster analogue of :meth:`DevicePool.restore_device`.
+        """
+        self._require_running()
+        worker = self._workers[worker_id]
+        if graceful and worker.alive:
+            await self.drain_worker(worker_id)
+            stop = self._expect(("stop", worker_id))
+            if worker.requests is not None and \
+                    worker.requests.push(encode_message(K_STOP, {})):
+                try:
+                    await asyncio.wait_for(stop, timeout=self.control_timeout)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                stop.cancel()
+            worker.alive = False
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+        for batch in list(worker.pending.values()):
+            batch.attempted.add(worker_id)
+            if not self._retry(batch):
+                self._resolve_batch_failed(
+                    worker, batch, f"worker {worker_id} restarted"
+                )
+        worker.pending.clear()
+        worker.inflight = 0
+        worker.outstanding_cycles = 0.0
+        if worker.requests is not None:
+            worker.requests.close()
+        if worker.replies is not None:
+            worker.replies.close()
+        ready = self._expect(("ready", worker_id))
+        self._spawn(worker)
+        try:
+            await asyncio.wait_for(ready, timeout=self.control_timeout)
+        except asyncio.TimeoutError:
+            raise ClusterError(
+                f"restarted worker {worker_id} failed to come up within "
+                f"{self.control_timeout}s"
+            ) from None
+        worker.health.reset()
+        worker.health.quarantined = False
+        worker.alive = True
+        worker.draining = False
+        worker.last_beats = 0
+        worker.last_progress = time.monotonic()
+        self.stats.restarts += 1
+        for name, record in self._matrices.items():
+            if worker_id in record.placement:
+                await self._register_on(worker, record, name)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                        #
+    # ------------------------------------------------------------------ #
+    def worker_status(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness/health/load summary."""
+        return [
+            {
+                "worker": worker.worker_id,
+                "alive": worker.alive,
+                "draining": worker.draining,
+                "quarantined": worker.health.quarantined,
+                "health_score": worker.health.score,
+                "inflight": worker.inflight,
+                "outstanding_cycles": worker.outstanding_cycles,
+                "matrices": sorted(worker.plan_handles),
+            }
+            for worker in self._workers
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                            #
+    # ------------------------------------------------------------------ #
+    def _require_running(self) -> None:
+        if not self._started or self._closed:
+            raise ClusterError(
+                "gateway is not running (use 'async with ClusterGateway(...)'"
+                " or call start() first)"
+            )
+
+    def _expect(self, key: Tuple) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        self._control[key] = future
+        return future
+
+    def _resolve(self, key: Tuple, value: Any) -> None:
+        future = self._control.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(value)

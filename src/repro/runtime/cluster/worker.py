@@ -1,0 +1,268 @@
+"""Cluster device worker: one OS process owning chips and a server shard.
+
+Each worker is a separate interpreter running its own
+:class:`~repro.runtime.server.PumServer` over its own
+:class:`~repro.runtime.pool.DevicePool` -- its own chips, plan caches,
+batch arenas, and (crucially) its own GIL.  The single-server stack is
+thread-parallel across devices, but the Python slices of the pipeline
+(planning glue, noise modelling, batch assembly) serialize on one GIL;
+moving each shard into a process is what makes those slices scale.
+
+``worker_main`` is the process entry point: it attaches to the two
+:class:`~repro.runtime.cluster.transport.ShmRing` segments the gateway
+created (requests in, replies out) plus the heartbeat board, builds the
+server described by its spec, announces ``READY``, and then runs a
+command loop -- beat the heartbeat, pop one message, execute, reply.
+Request vectors are decoded as zero-copy views of the request ring and
+flow straight into ``submit_batch`` (whose bulk admission copy is the
+single copy the data ever takes on this side); result matrices are
+written directly into the response ring.
+
+The loop is deliberately synchronous per message: a ``SUBMIT`` runs the
+batch to completion (``run_until_idle``) before its ``RESULTS`` frame is
+pushed, so replies never interleave and the worker's scheduler keeps the
+deterministic tick clock of the single-process server -- which is what
+makes gateway results bit-identical to a local :class:`PumServer` on the
+same trace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ...core.config import ChipConfig, HctConfig
+from ...errors import ReproError, TransportError
+from ...reram import NoiseConfig
+from ..server import PumServer
+from .messages import (
+    K_ACK,
+    K_DRAIN,
+    K_ERROR,
+    K_PING,
+    K_READY,
+    K_REGISTER,
+    K_REGISTERED,
+    K_RESULTS,
+    K_STOP,
+    K_SUBMIT,
+    STATUS_CODES,
+    decode_message,
+    encode_message,
+)
+from .transport import HeartbeatBoard, ShmRing
+
+__all__ = ["build_worker_server", "worker_main"]
+
+#: Idle-poll sleep of the command loop (seconds).  Small enough to stay
+#: invisible next to millisecond batches, large enough not to spin a
+#: core while the gateway has nothing queued.
+POLL_INTERVAL = 2e-4
+
+_NOISE_PRESETS = {
+    None: lambda: None,
+    "ideal": NoiseConfig.ideal,
+    "paper_default": NoiseConfig.paper_default,
+}
+
+
+def build_worker_server(spec: Dict[str, Any]) -> PumServer:
+    """Construct the :class:`PumServer` a worker spec describes.
+
+    The spec is a plain dict of scalars/strings (it crosses the process
+    boundary at spawn time), mirroring the ``PumServer`` constructor:
+    ``num_devices``, ``policy``, ``max_batch``, ``max_wait_ticks``,
+    ``queue_capacity``, ``backend``, ``replication``, ``verify``, plus
+    ``chip`` (``None`` for paper-default chips, ``"small"`` for the fast
+    functional configuration) and ``noise`` (``None`` / ``"ideal"`` /
+    ``"paper_default"``).
+    """
+    chip = spec.get("chip")
+    if chip is None:
+        config = None
+    elif chip == "small":
+        config = ChipConfig(
+            hct=HctConfig.small(), num_hcts=int(spec.get("num_hcts", 3))
+        )
+    else:
+        raise ReproError(f"unknown worker chip preset {chip!r}")
+    noise_name = spec.get("noise")
+    try:
+        noise = _NOISE_PRESETS[noise_name]()
+    except KeyError:
+        raise ReproError(f"unknown worker noise preset {noise_name!r}") from None
+    from ..pool import DevicePool
+
+    pool = DevicePool(
+        num_devices=int(spec.get("num_devices", 1)),
+        config=config,
+        noise=noise,
+        policy=spec.get("policy", "cache_affinity"),
+        backend=spec.get("backend"),
+        replication=int(spec.get("replication", 1)),
+        verify=spec.get("verify", "off"),
+    )
+    return PumServer(
+        pool=pool,
+        max_batch=spec.get("max_batch"),
+        max_wait_ticks=spec.get("max_wait_ticks"),
+        queue_capacity=int(spec.get("queue_capacity", 4096)),
+        admission="reject",
+    )
+
+
+def _result_frame(server: PumServer, header: Dict[str, Any],
+                  futures: List) -> List[bytes]:
+    """Assemble the RESULTS frame for a completed batch, in row order."""
+    n = len(futures)
+    statuses = np.zeros(n, dtype=np.uint8)
+    latency = np.zeros(n, dtype=np.int64)
+    energy = np.zeros(n, dtype=np.float64)
+    rows: List[np.ndarray] = []
+    errors: Dict[str, str] = {}
+    cols = 0
+    for index, future in enumerate(futures):
+        response = future.result(timeout=0)
+        statuses[index] = STATUS_CODES.get(response.status, STATUS_CODES["failed"])
+        latency[index] = response.completion_tick - response.arrival_tick
+        energy[index] = response.energy_pj
+        if response.result is not None:
+            row = np.asarray(response.result, dtype=np.int64)
+            cols = max(cols, row.shape[0])
+            rows.append(row)
+        else:
+            rows.append(None)  # type: ignore[arg-type]
+            if response.error:
+                errors[str(index)] = str(response.error)
+    results = np.zeros((n, cols), dtype=np.int64)
+    for index, row in enumerate(rows):
+        if row is not None:
+            results[index, : row.shape[0]] = row
+    reply = {"batch": header.get("batch"), "name": header.get("name")}
+    if errors:
+        reply["errors"] = errors
+    return encode_message(
+        K_RESULTS, reply, [statuses, results, latency, energy]
+    )
+
+
+def _handle(server: PumServer, kind: int, header: Dict[str, Any],
+            arrays: List[np.ndarray]) -> List[bytes]:
+    """Execute one request message; returns the reply frame (or [] to stop)."""
+    if kind == K_SUBMIT:
+        name = header["name"]
+        # The one copy this side of the boundary: admitted vectors alias
+        # the array handed to submit_batch, which must outlive the ring
+        # frame -- so lift the payload out of shared memory here.
+        futures = server.submit_batch(
+            name, np.array(arrays[0]),
+            input_bits=int(header.get("input_bits", 8)),
+        )
+        server.run_until_idle()
+        return _result_frame(server, header, futures)
+    if kind == K_REGISTER:
+        # Lift the matrix out of the ring frame before handing it to the
+        # registry, which may keep references past the frame's lifetime.
+        allocation = server.register_matrix(
+            header["name"],
+            np.array(arrays[0]),
+            element_size=int(header.get("element_size", 8)),
+            precision=int(header.get("precision", 0)),
+            input_bits=int(header.get("input_bits", 8)),
+        )
+        handle = server.plan_handle(
+            header["name"], input_bits=int(header.get("input_bits", 8))
+        )
+        return encode_message(K_REGISTERED, {
+            "name": header["name"],
+            "shape": list(allocation.shape),
+            "handle": handle.to_bytes().hex(),
+        })
+    if kind == K_DRAIN:
+        return encode_message(K_ACK, {
+            "drain": True, "stats": server.stats.snapshot(),
+        })
+    if kind == K_PING:
+        return encode_message(K_ACK, {"nonce": header.get("nonce")})
+    if kind == K_STOP:
+        return []
+    raise TransportError(f"unknown message kind {kind}")
+
+
+def worker_main(spec: Dict[str, Any]) -> None:
+    """Process entry point: serve the command loop until STOP.
+
+    ``spec`` carries the transport attachment points (``request_ring``,
+    ``response_ring``, ``board`` segment names, ``worker_id`` selecting
+    the heartbeat slot) alongside the server parameters of
+    :func:`build_worker_server`.
+    """
+    worker_id = int(spec["worker_id"])
+    requests = ShmRing(name=spec["request_ring"], create=False)
+    replies = ShmRing(name=spec["response_ring"], create=False)
+    board = HeartbeatBoard(name=spec["board"], create=False)
+
+    def send(parts: List[bytes]) -> None:
+        # The gateway's inflight window bounds outstanding replies, so a
+        # full response ring only means the pump is behind; spin politely
+        # and keep beating so the health monitor sees us alive.
+        while not replies.push(parts):
+            board.beat(worker_id)
+            time.sleep(POLL_INTERVAL)
+
+    try:
+        server = build_worker_server(spec)
+    except Exception as exc:  # pragma: no cover - config errors are fatal
+        send(encode_message(K_ERROR, {
+            "error": f"worker {worker_id} failed to start: {exc}",
+        }))
+        return
+    send(encode_message(K_READY, {"worker": worker_id, "pid": os.getpid()}))
+
+    running = True
+    while running:
+        board.beat(worker_id)
+        try:
+            payload = requests.peek()
+        except TransportError as exc:
+            send(encode_message(K_ERROR, {"error": str(exc)}))
+            continue
+        if payload is None:
+            time.sleep(POLL_INTERVAL)
+            continue
+        header: Dict[str, Any] = {}
+        try:
+            kind, header, arrays = decode_message(payload)
+            reply = _handle(server, kind, header, arrays)
+        except ReproError as exc:
+            # A bad message fails *that message* (the gateway resolves its
+            # riders), never the worker: the loop stays up.
+            reply = encode_message(K_ERROR, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "batch": header.get("batch"),
+                "name": header.get("name"),
+            })
+        except Exception as exc:  # pragma: no cover - defensive
+            reply = encode_message(K_ERROR, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "trace": traceback.format_exc(limit=4),
+            })
+        finally:
+            requests.advance()
+            # Drop the frame views so the segment has no exported
+            # pointers when the rings close at shutdown.
+            payload = arrays = None
+        if reply:
+            send(reply)
+        else:
+            send(encode_message(K_ACK, {"stopped": worker_id}))
+            running = False
+
+    server.pool.close()
+    requests.close()
+    replies.close()
+    board.close()

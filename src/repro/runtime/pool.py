@@ -49,10 +49,11 @@ from ..errors import (
     QuantizationError,
     RebuildError,
     ReplicationError,
+    ReproError,
 )
 from ..metrics import CostLedger, merge_ledgers
 from ..plan.backends import ExecutionBackend
-from ..plan.ir import ShardTask, ShardedPlan
+from ..plan.ir import PlanHandle, ShardTask, ShardedPlan
 from ..reram import NoiseConfig
 from .allocator import plan_matrix
 from .integrity import VERIFY_FULL, VERIFY_MODES, VERIFY_OFF, DeviceHealth, IntegrityChecker
@@ -765,6 +766,26 @@ class DevicePool:
             for task in plan.tasks
         )
 
+    def plan_handle(
+        self, allocation: PooledAllocation, input_bits: int = 8
+    ) -> PlanHandle:
+        """Process-portable cost surrogate of one pooled allocation.
+
+        The cycle model is the fan-out critical path (max over devices,
+        like :meth:`predicted_batch_cycles`), sampled at two batch sizes;
+        energy is the per-vector sum over primary shards.  Cheap (pure
+        cost-model evaluation) and safe to ship across a process
+        boundary -- the cluster tier's registration ack carries it so the
+        gateway can route by predicted finish time without ever
+        serializing a live plan.
+        """
+        return PlanHandle.from_cost_samples(
+            allocation.shape, input_bits,
+            self.predicted_batch_cycles(allocation, 1, input_bits=input_bits),
+            self.predicted_batch_cycles(allocation, 17, input_bits=input_bits),
+            self.predicted_batch_energy_pj(allocation, 1, input_bits=input_bits),
+        )
+
     def predicted_device_finish_cycles(
         self, device_index: int, batch: int = 1
     ) -> float:
@@ -1405,6 +1426,20 @@ class DevicePool:
                     for shard, device_allocation in band_pairs
                 )
                 min_copies = min(min_copies, len(band_pairs))
+        except ReproError:
+            rollback()
+            raise
+        except (KeyError, IndexError) as exc:
+            # Normalize: a placement policy or bookkeeping bug during the
+            # no-capacity walk must surface as the documented RebuildError,
+            # not leak a bare KeyError/IndexError to the caller (who is
+            # often the auto-rebuild retry path matching on ReproError).
+            rollback()
+            raise RebuildError(
+                allocation.allocation_id, -1,
+                f"rebuild of allocation {allocation.allocation_id} failed "
+                f"while placing replacement copies: {type(exc).__name__}: {exc}",
+            ) from exc
         except Exception:
             rollback()
             raise

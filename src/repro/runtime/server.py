@@ -65,6 +65,7 @@ from ..errors import (
 )
 from ..metrics import percentile_sorted
 from ..plan.backends import ExecutionBackend
+from ..plan.ir import PlanHandle
 from .pool import DevicePool, PooledAllocation, RebuildReport
 from .queueing import GroupKey, RequestQueue, make_request_queue
 from .scheduling import SchedulingPolicy, SloClass, make_scheduling_policy, resolve_slo
@@ -291,20 +292,28 @@ class ServingStats:
     )
     #: Value of ``completed`` when the cache was last rebuilt (-1 = never).
     _sorted_revision: int = field(default=-1, init=False, repr=False)
+    #: Guards the sliding windows against a reader racing the tick loop
+    #: (see :meth:`snapshot`).  Re-entrant so ``snapshot`` can call the
+    #: locked ``latency_percentile`` while holding it.
+    _stats_lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     def observe_queue_depth(self, depth: int) -> None:
         """Sample the queue depth at a tick boundary."""
-        self.queue_depth_samples.append(depth)
-        self.peak_queue_depth = max(self.peak_queue_depth, depth)
+        with self._stats_lock:
+            self.queue_depth_samples.append(depth)
+            self.peak_queue_depth = max(self.peak_queue_depth, depth)
 
     def record_batch(self, size: int, latencies: List[int], energy_pj: float) -> None:
         """Account one dispatched batch."""
-        self.batches += 1
-        self.completed += size
-        self.batch_fill[size] = self.batch_fill.get(size, 0) + 1
-        self.latencies.extend(latencies)
-        per_request = energy_pj / size if size else 0.0
-        self.energy_per_request_pj.extend([per_request] * size)
+        with self._stats_lock:
+            self.batches += 1
+            self.completed += size
+            self.batch_fill[size] = self.batch_fill.get(size, 0) + 1
+            self.latencies.extend(latencies)
+            per_request = energy_pj / size if size else 0.0
+            self.energy_per_request_pj.extend([per_request] * size)
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile in ticks (0.0 when nothing completed yet).
@@ -314,12 +323,27 @@ class ServingStats:
         p50/p95/p99 triple a dashboard reads every tick costs one sort per
         dispatch rather than one sort per query.
         """
-        if not self.latencies:
-            return 0.0
-        if self._sorted_revision != self.completed:
-            self._sorted_latencies = sorted(self.latencies)
-            self._sorted_revision = self.completed
-        return percentile_sorted(self._sorted_latencies, q)
+        with self._stats_lock:
+            if not self.latencies:
+                return 0.0
+            if self._sorted_revision != self.completed:
+                self._sorted_latencies = sorted(self.latencies)
+                self._sorted_revision = self.completed
+            return percentile_sorted(self._sorted_latencies, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Consistent point-in-time :meth:`summary` (thread-safe).
+
+        A dashboard (or the cluster gateway's health loop) reading stats
+        while a :class:`ThreadedServerDriver` is mid-tick must not observe
+        a half-updated window -- e.g. ``completed`` already bumped but the
+        batch's latencies not yet appended, which skews the percentile
+        against the counter it is paired with.  ``snapshot`` takes the
+        stats lock, so it always sees whole batches; the mutators
+        (``record_batch`` / ``observe_queue_depth``) take the same lock.
+        """
+        with self._stats_lock:
+            return self.summary()
 
     @property
     def mean_batch_fill(self) -> float:
@@ -585,6 +609,16 @@ class PumServer:
             )
             self._energy_cache[key] = cached
         return cached
+
+    def plan_handle(self, name: str, input_bits: int = 8) -> PlanHandle:
+        """Process-portable cost surrogate of the matrix under ``name``.
+
+        Evaluates the pool's cached cost models into a
+        :class:`~repro.plan.ir.PlanHandle` -- what a cluster worker ships
+        back to the gateway at registration so cross-process routing can
+        price dispatches without serializing live plans.
+        """
+        return self.pool.plan_handle(self.allocation_for(name), input_bits)
 
     # ------------------------------------------------------------------ #
     # Admission                                                            #

@@ -29,7 +29,7 @@ from ..core.config import ChipConfig
 from ..errors import QuantizationError
 from ..metrics import CostLedger
 from ..plan.backends import ExecutionBackend, resolve_backend
-from ..plan.ir import MvmPlan
+from ..plan.ir import MvmPlan, PlanHandle
 from ..reram import NoiseConfig
 from .allocator import MatrixPlacement, plan_matrix, precision_to_bits_per_cell
 
@@ -281,6 +281,24 @@ class DarthPumDevice:
             handle = allocation.handles[tile.hct_slot]
             total += hct.planner.plan_for(handle, input_bits).predicted_energy_pj(batch)
         return total
+
+    def plan_handle(
+        self, allocation: MatrixAllocation, input_bits: int = 8
+    ) -> PlanHandle:
+        """Process-portable cost surrogate of this allocation's plans.
+
+        Fits the affine :class:`~repro.plan.ir.PlanHandle` from two
+        predicted-cycle samples of the cached tile plans (pure cache hits
+        after ``compile``) -- the form a cluster worker ships to the
+        gateway so cross-process routing can price work without owning
+        any live plan object.
+        """
+        return PlanHandle.from_cost_samples(
+            allocation.shape, input_bits,
+            self.predicted_mvm_cycles(allocation, 1, input_bits=input_bits),
+            self.predicted_mvm_cycles(allocation, 17, input_bits=input_bits),
+            self.predicted_mvm_energy_pj(allocation, 1, input_bits=input_bits),
+        )
 
     def update_row(self, allocation: MatrixAllocation, row: int, values: np.ndarray) -> None:
         """updateRow(): rewrite one matrix row across the affected HCTs."""

@@ -1,0 +1,263 @@
+"""Cluster transport tests: array codec, SPSC ring, wire protocol.
+
+Everything here is single-process -- the ring's two ends are exercised
+from one test body, which is exactly the SPSC contract (one producer,
+one consumer; they just happen to share a thread here).  Process-level
+behaviour lives in ``test_cluster.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.runtime.cluster import (
+    STATUS_CODES,
+    STATUS_NAMES,
+    HeartbeatBoard,
+    ShmRing,
+    decode_array,
+    decode_message,
+    encode_array,
+    encode_message,
+)
+from repro.runtime.cluster.messages import K_RESULTS, K_SUBMIT
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing(capacity=1 << 12)
+    yield ring
+    ring.close()
+
+
+def push_bytes(ring, payload):
+    return ring.push([payload])
+
+
+# --------------------------------------------------------------------- #
+# Array codec                                                             #
+# --------------------------------------------------------------------- #
+ALL_DTYPES = [
+    np.int8, np.int16, np.int32, np.int64,
+    np.uint8, np.uint16, np.uint32, np.uint64,
+    np.float16, np.float32, np.float64,
+    np.bool_,
+]
+
+
+@pytest.mark.parametrize("dtype", ALL_DTYPES)
+def test_array_codec_identity_every_dtype(dtype):
+    """Encode/decode is bit-exact for every fixed-width dtype."""
+    rng = np.random.default_rng(7)
+    if dtype is np.bool_:
+        array = rng.integers(0, 2, size=(5, 3)).astype(dtype)
+    elif np.issubdtype(dtype, np.floating):
+        array = rng.standard_normal((5, 3)).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        array = rng.integers(
+            max(info.min, -1000), min(info.max, 1000), size=(5, 3)
+        ).astype(dtype)
+    blob = b"".join(bytes(part) for part in encode_array(array))
+    decoded, offset = decode_array(memoryview(blob), 0)
+    assert offset == len(blob)
+    assert decoded.dtype == array.dtype
+    assert decoded.shape == array.shape
+    assert np.array_equal(decoded, array)
+
+
+@pytest.mark.parametrize("shape", [(0,), (7,), (2, 3, 4)])
+def test_array_codec_identity_shapes(shape):
+    array = np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+    blob = b"".join(bytes(part) for part in encode_array(array))
+    decoded, _ = decode_array(memoryview(blob), 0)
+    assert decoded.shape == array.shape
+    assert np.array_equal(decoded, array)
+
+
+def test_array_codec_is_zero_copy_on_decode():
+    """Decoded arrays are views of the source buffer, not copies."""
+    array = np.arange(12, dtype=np.int64)
+    blob = bytearray(b"".join(bytes(part) for part in encode_array(array)))
+    decoded, _ = decode_array(memoryview(blob), 0)
+    header = len(blob) - array.nbytes
+    blob[header] = 0xAA  # mutate the underlying buffer
+    assert decoded[0] != array[0]  # the view saw the mutation
+
+
+def test_array_codec_rejects_object_dtype():
+    with pytest.raises(TransportError, match="object"):
+        encode_array(np.array([object()], dtype=object))
+
+
+def test_array_codec_rejects_truncated_payload():
+    array = np.arange(8, dtype=np.int64)
+    blob = b"".join(bytes(part) for part in encode_array(array))
+    with pytest.raises(TransportError, match="malformed"):
+        decode_array(memoryview(blob[: len(blob) // 2]), 0)
+
+
+# --------------------------------------------------------------------- #
+# SPSC ring                                                               #
+# --------------------------------------------------------------------- #
+def test_ring_round_trip(ring):
+    assert push_bytes(ring, b"hello")
+    assert push_bytes(ring, b"world")
+    assert ring.pop() == b"hello"
+    assert ring.pop() == b"world"
+    assert ring.pop() is None
+
+
+def test_ring_attach_by_name(ring):
+    """A second handle attached by name sees the same frames."""
+    push_bytes(ring, b"cross-process payload")
+    attached = ShmRing(name=ring.name, create=False)
+    try:
+        assert attached.capacity == ring.capacity
+        assert attached.pop() == b"cross-process payload"
+    finally:
+        attached.close()
+
+
+def test_ring_backpressure_returns_false_when_full(ring):
+    """A full ring refuses the frame instead of blocking or raising."""
+    frame = bytes(1024)
+    accepted = 0
+    while push_bytes(ring, frame):
+        accepted += 1
+    assert accepted == 3  # 4 KiB ring, ~1 KiB frames + headers
+    assert not push_bytes(ring, frame)
+    # Draining one frame makes room again.
+    assert ring.pop() == frame
+    assert push_bytes(ring, frame)
+
+
+def test_ring_oversized_frame_raises(ring):
+    with pytest.raises(TransportError, match="cannot fit"):
+        push_bytes(ring, bytes(ring.capacity))
+
+
+def test_ring_wrap_around_preserves_frames(ring):
+    """Thousands of variable-size frames survive ring wrap-around."""
+    rng = np.random.default_rng(3)
+    outstanding = []
+    pushed = popped = 0
+    for step in range(2000):
+        payload = bytes(rng.integers(0, 256, size=rng.integers(1, 300),
+                                     dtype=np.uint8))
+        if push_bytes(ring, payload):
+            outstanding.append(payload)
+            pushed += 1
+        else:
+            assert outstanding, "ring full while logically empty"
+            assert ring.pop() == outstanding.pop(0)
+            popped += 1
+    while outstanding:
+        assert ring.pop() == outstanding.pop(0)
+        popped += 1
+    assert ring.pop() is None
+    assert pushed == popped
+    assert ring.frames_pushed == pushed
+
+
+def test_ring_frames_pushed_is_continuous(ring):
+    for index in range(10):
+        assert push_bytes(ring, b"x" * (index + 1))
+        assert ring.frames_pushed == index + 1
+
+
+def test_ring_detects_torn_write(ring):
+    """A frame corrupted after commit fails its CRC -- and is skipped."""
+    push_bytes(ring, b"first frame, about to be mangled")
+    push_bytes(ring, b"second frame, intact")
+    # Flip one payload byte behind the transport's back (a torn write
+    # from a producer dying mid-push looks exactly like this).
+    ring._data[16] ^= 0xFF
+    with pytest.raises(TransportError, match="CRC"):
+        ring.peek()
+    # The reader stepped past the bad frame: the channel recovers.
+    assert ring.pop() == b"second frame, intact"
+    assert ring.pop() is None
+
+
+def test_ring_detects_uncommitted_header(ring):
+    """Header bytes past the committed head are flagged, not decoded."""
+    push_bytes(ring, b"frame")
+    # Pretend a producer wrote a huge length field then died before
+    # bumping head past it.
+    import struct
+    struct.pack_into("<I", ring._data, 0, 10_000)
+    with pytest.raises(TransportError, match="truncated"):
+        ring.peek()
+
+
+def test_ring_peek_is_zero_copy_until_advance(ring):
+    push_bytes(ring, bytes(range(32)))
+    view = ring.peek()
+    assert isinstance(view, memoryview)
+    assert bytes(view) == bytes(range(32))
+    # Not consumed until advance.
+    assert len(ring) > 0
+    view.release()
+    ring.advance()
+    assert len(ring) == 0
+
+
+# --------------------------------------------------------------------- #
+# Message layer                                                           #
+# --------------------------------------------------------------------- #
+def test_message_round_trip_through_ring(ring):
+    vectors = np.arange(24, dtype=np.int64).reshape(4, 6)
+    header = {"batch": 17, "name": "weights", "input_bits": 4}
+    assert ring.push(encode_message(K_SUBMIT, header, [vectors]))
+    payload = ring.peek()
+    kind, decoded_header, arrays = decode_message(payload)
+    assert kind == K_SUBMIT
+    assert decoded_header == header
+    assert np.array_equal(arrays[0], vectors)
+    ring.advance()
+
+
+def test_message_multiple_arrays_in_order(ring):
+    statuses = np.zeros(3, dtype=np.uint8)
+    results = np.ones((3, 5), dtype=np.int64)
+    latency = np.full(3, 9, dtype=np.int64)
+    assert ring.push(encode_message(
+        K_RESULTS, {"batch": 1}, [statuses, results, latency]
+    ))
+    _, _, arrays = decode_message(ring.peek())
+    assert [a.dtype for a in arrays] == [np.uint8, np.int64, np.int64]
+    assert np.array_equal(arrays[1], results)
+    ring.advance()
+
+
+def test_message_malformed_header_raises():
+    with pytest.raises(TransportError, match="malformed"):
+        decode_message(memoryview(b"\x02\x00\xff\xff\xff\xff"))
+
+
+def test_status_code_tables_are_inverse():
+    assert STATUS_NAMES == {code: name for name, code in STATUS_CODES.items()}
+    assert STATUS_CODES["completed"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Heartbeat board                                                         #
+# --------------------------------------------------------------------- #
+def test_heartbeat_board_counts_beats_per_slot():
+    board = HeartbeatBoard(num_slots=3)
+    try:
+        attached = HeartbeatBoard(name=board.name, create=False)
+        try:
+            assert attached.num_slots == 3
+            for _ in range(5):
+                attached.beat(1)
+            beats, stamp = board.read(1)
+            assert beats == 5
+            assert stamp > 0.0
+            assert board.read(0) == (0, 0.0)
+            assert board.read(2) == (0, 0.0)
+        finally:
+            attached.close()
+    finally:
+        board.close()

@@ -30,6 +30,7 @@ from repro.errors import (
     AllocationError,
     ArbiterConflictError,
     CapacityError,
+    ClusterError,
     ConfigurationError,
     DeviceError,
     DeviceFailedError,
@@ -45,6 +46,8 @@ from repro.errors import (
     ReproError,
     SchedulerError,
     SloError,
+    TransportError,
+    WorkerFailedError,
 )
 from repro.isa import assemble
 from repro.runtime import AesSession, DevicePool, FaultInjector, PumServer
@@ -136,6 +139,51 @@ class TestRaisableViaPublicApi:
         pool = small_pool()
         with pytest.raises(QuantizationError, match="2-D"):
             pool.set_matrix(np.arange(8))
+
+    def test_cluster_error(self):
+        from repro.runtime.cluster import ClusterGateway
+        with pytest.raises(ClusterError, match="at least one worker"):
+            ClusterGateway(num_workers=0)
+
+    def test_transport_error(self):
+        from repro.runtime.cluster import ShmRing
+        ring = ShmRing(capacity=4096)
+        try:
+            assert ring.push([b"\x01\x02\x03\x04"])
+            # Corrupt the committed frame's payload in place (first byte
+            # past the 64-byte control block + 12-byte frame header): the
+            # reader must flag the CRC instead of serving torn bytes.
+            ring.shm.buf[64 + 12] ^= 0xFF
+            with pytest.raises(TransportError, match="CRC mismatch"):
+                ring.peek()
+        finally:
+            ring.close()
+
+    def test_worker_failed_error(self):
+        from repro.runtime.cluster import ClusterGateway
+
+        async def scenario():
+            import asyncio
+            import os
+            import signal
+            async with ClusterGateway(
+                num_workers=1, chip="small", heartbeat_interval=0.02
+            ) as gateway:
+                await gateway.register_matrix(
+                    "w", np.eye(8, dtype=np.int64), input_bits=2
+                )
+                futures = await gateway.submit_batch(
+                    "w", np.ones((2, 8), dtype=np.int64), 2
+                )
+                os.kill(gateway._workers[0].process.pid, signal.SIGKILL)
+                responses = await asyncio.gather(*futures)
+                assert all(r.status == "failed" for r in responses)
+                assert all(
+                    "cluster worker 0 failed" in r.error for r in responses
+                )
+
+        import asyncio
+        asyncio.run(scenario())
 
     def test_repro_error_is_the_catchable_base(self):
         # The library contract: one `except ReproError` catches any
@@ -231,6 +279,18 @@ class TestRebuildErrorFields:
         assert issubclass(RebuildError, AllocationError)
 
 
+class TestWorkerFailedErrorFields:
+    def test_fields_and_default_message(self):
+        error = WorkerFailedError(3, kind="stale")
+        assert error.worker_id == 3
+        assert error.kind == "stale"
+        assert "worker 3" in str(error)
+        assert "stale" in str(error)
+
+    def test_is_a_cluster_error(self):
+        assert issubclass(WorkerFailedError, ClusterError)
+
+
 class TestHierarchy:
     """The documented lattice, asserted explicitly."""
 
@@ -253,6 +313,9 @@ class TestHierarchy:
         (IntegrityError, DeviceError),
         (RebuildError, AllocationError),
         (QuantizationError, ReproError),
+        (ClusterError, ReproError),
+        (TransportError, ClusterError),
+        (WorkerFailedError, ClusterError),
     ])
     def test_subclassing(self, child, parent):
         assert issubclass(child, parent)
@@ -271,6 +334,7 @@ class TestHierarchy:
             "ExecutionError", "ArbiterConflictError", "RegisterLiveError",
             "DeviceError", "DeviceFailedError", "IntegrityError",
             "RebuildError", "QuantizationError",
+            "ClusterError", "TransportError", "WorkerFailedError",
         }
         assert public == covered, (
             "public exceptions changed; update tests/test_errors.py: "

@@ -340,3 +340,52 @@ class TestRebuild:
         )
         server.run_until_idle()
         assert all(f.result().status == "completed" for f in futures)
+
+
+class TestRebuildErrorNormalization:
+    """A bookkeeping bug mid-rebuild must surface as RebuildError, not leak
+    a bare KeyError/IndexError from the placement walk -- and must roll
+    back any copies programmed earlier in the same pass."""
+
+    def test_policy_keyerror_is_normalized_and_rolled_back(self):
+        pool = small_pool(num_devices=4, replication=2)
+        rng = derive_rng("rebuild-normalize")
+        matrix = rng.integers(-8, 8, size=(16, 8))
+        allocation = pool.set_matrix(matrix, element_size=4, precision=0)
+        victim = allocation.shards[0][0].device_index
+        pool.mark_device_failed(victim)
+        free_before = [pool.free_hcts(i) for i in range(pool.num_devices)]
+
+        class BuggyPolicy:
+            def choose(self, free, needed, holders):
+                raise KeyError("stale device index")
+
+        original = pool.placement_policy
+        pool.placement_policy = BuggyPolicy()
+        try:
+            with pytest.raises(RebuildError) as excinfo:
+                pool.rebuild(allocation)
+        finally:
+            pool.placement_policy = original
+        assert excinfo.value.allocation_id == allocation.allocation_id
+        assert "placing replacement copies" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        # Nothing programmed by the aborted pass was left behind.
+        assert [pool.free_hcts(i) for i in range(pool.num_devices)] \
+            == free_before
+        # The pool recovers: with the real policy back, rebuild succeeds.
+        report = pool.rebuild(allocation)
+        assert report.changed is True
+
+    def test_index_error_is_normalized(self):
+        pool = small_pool(num_devices=2, replication=2)
+        allocation = pool.set_matrix(np.eye(8, dtype=np.int64), element_size=4)
+        pool.mark_device_failed(allocation.shards[0][0].device_index)
+
+        class BuggyPolicy:
+            def choose(self, free, needed, holders):
+                raise IndexError("device list out of range")
+
+        pool.placement_policy = BuggyPolicy()
+        with pytest.raises(RebuildError, match="IndexError"):
+            pool.rebuild(allocation)

@@ -536,3 +536,70 @@ class TestLatencyPercentileCache:
 
     def test_empty_window_is_zero(self):
         assert ServingStats().latency_percentile(99) == 0.0
+
+
+class TestStatsSnapshot:
+    """Regression: snapshot() must never observe a torn telemetry window."""
+
+    def test_snapshot_blocks_on_the_stats_lock(self):
+        # The mutators and snapshot() serialize on the same lock; a reader
+        # arriving mid-record_batch must wait for the whole batch.
+        import threading
+
+        stats = ServingStats()
+        stats.record_batch(2, [5, 7], energy_pj=4.0)
+        acquired = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def hold_lock():
+            with stats._stats_lock:
+                acquired.set()
+                release.wait(timeout=10)
+
+        def read_snapshot():
+            observed["summary"] = stats.snapshot()
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        assert acquired.wait(timeout=10)
+        reader = threading.Thread(target=read_snapshot)
+        reader.start()
+        reader.join(timeout=0.2)
+        assert reader.is_alive()  # blocked behind the writer's lock
+        release.set()
+        reader.join(timeout=10)
+        holder.join(timeout=10)
+        assert not reader.is_alive()
+        assert observed["summary"]["completed"] == 2.0
+
+    def test_snapshot_is_consistent_under_concurrent_recording(self):
+        # Hammer record_batch from a writer thread while snapshotting:
+        # completed is only ever bumped alongside its batch, so every
+        # snapshot must satisfy completed == 2 * batches exactly.
+        import threading
+
+        stats = ServingStats()
+        stop = threading.Event()
+
+        def writer():
+            tick = 0
+            while not stop.is_set():
+                stats.record_batch(2, [tick, tick + 1], energy_pj=2.0)
+                tick += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(300):
+                summary = stats.snapshot()
+                assert summary["completed"] == 2 * summary["batches"]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+
+    def test_snapshot_matches_summary_when_quiescent(self):
+        stats = ServingStats()
+        stats.record_batch(3, [1, 2, 3], energy_pj=9.0)
+        stats.observe_queue_depth(5)
+        assert stats.snapshot() == stats.summary()
