@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench integrity-bench sched-bench cluster-bench cluster-demo plan-dump profile profile-server lint coverage all
+.PHONY: test unit bench doctest docs-check batch-bench serve-bench serve-latency-bench kernel-bench chaos recovery-bench integrity-bench sched-bench cluster-bench cluster-chaos cluster-demo plan-dump profile profile-server lint coverage all
 
 # Tier-1: the full unit + benchmark suite.
 test:
@@ -87,6 +87,17 @@ sched-bench:
 # cluster job does) to also append to BENCH_cluster.json.
 cluster-bench:
 	$(PY) -m pytest benchmarks/test_cluster_scaling.py -q
+
+# Cluster chaos gate: one open-loop run absorbing the seeded transport
+# fault campaign (drop/dup/delay/corrupt), an induced straggler, and a
+# SIGKILL at replication=2 -- zero lost futures, answers bit-identical to
+# a fault-free twin, supervised restart observed, p99 recovery blip
+# bounded.  Writes benchmarks/artifacts/cluster_chaos.json; set
+# REPRO_BENCH_RECORD=1 (as the CI cluster-chaos job does, sweeping
+# REPRO_TEST_SEED over {12345, 1, 31337}) to also append to
+# BENCH_cluster.json.
+cluster-chaos:
+	$(PY) -m pytest benchmarks/test_cluster_chaos_gate.py tests/test_cluster_chaos.py -q
 
 # Run the scale-out quickstart (gateway + 2 replicated worker processes).
 cluster-demo:

@@ -212,3 +212,57 @@ class WorkerFailedError(ClusterError):
         self.kind = kind
         detail = message or f"cluster worker {worker_id} failed ({kind})"
         super().__init__(detail)
+
+
+class BatchTimeoutError(ClusterError):
+    """A dispatched batch exceeded its per-batch execution timeout.
+
+    Distinct from the worker-level ``liveness_timeout``: the worker may
+    still be heartbeating (a *gray* failure -- slow, not dead).  The
+    gateway's watchdog raises this internally to trigger hedged
+    re-dispatch onto another replica; it only surfaces to callers when
+    every hedge attempt is exhausted.
+
+    Attributes
+    ----------
+    worker_id:
+        Worker the timed-out attempt was inflight to.
+    batch_id:
+        Gateway batch id of the timed-out batch.
+    attempts:
+        Dispatch attempts consumed when the error was raised.
+    """
+
+    def __init__(self, worker_id: int, batch_id: int, attempts: int = 1,
+                 message: str = "") -> None:
+        self.worker_id = worker_id
+        self.batch_id = batch_id
+        self.attempts = attempts
+        detail = message or (
+            f"batch {batch_id} timed out on worker {worker_id} "
+            f"(attempt {attempts})"
+        )
+        super().__init__(detail)
+
+
+class CircuitOpenError(AdmissionError):
+    """Every replica that could serve a request is circuit-broken.
+
+    Subclasses :class:`AdmissionError` deliberately: to a submitting
+    client, "all breakers open" is backpressure -- back off and retry --
+    exactly like a saturated inflight window, so existing
+    ``except AdmissionError`` retry loops handle it unchanged.
+
+    Attributes
+    ----------
+    worker_ids:
+        The breaker-open workers that were considered.
+    """
+
+    def __init__(self, worker_ids=(), message: str = "") -> None:
+        self.worker_ids = tuple(worker_ids)
+        detail = message or (
+            f"circuit breaker open for worker(s) {list(self.worker_ids)}; "
+            f"no routable replica accepts traffic right now"
+        )
+        super().__init__(detail)

@@ -17,19 +17,32 @@ OS process:
 * :mod:`gateway <repro.runtime.cluster.gateway>` -- the asyncio front
   door: rendezvous placement, cost-aware replica routing, bounded
   inflight windows, heartbeat health checks, retry-on-replica failover,
-  and graceful drain/restart.
+  graceful drain/restart, per-batch timeouts with hedged re-dispatch,
+  per-worker circuit breakers, and supervised auto-restart;
+* :mod:`faults <repro.runtime.cluster.faults>` -- the chaos layer:
+  deterministic transport fault injection (drop/dup/delay/corrupt on the
+  ring's producer seam) and the :class:`CircuitBreaker` state machine.
 
 Import this package explicitly (``from repro.runtime.cluster import
 ClusterGateway``); ``repro.runtime`` does not re-export it, so the
 single-process stack never pays the multiprocessing import.
 """
 
+from .faults import (
+    TRANSPORT_FAULT_MODES,
+    CircuitBreaker,
+    TransportFaultEvent,
+    TransportFaultInjector,
+    TransportFaultSchedule,
+    TransportFaultSpec,
+)
 from .gateway import ClusterGateway, ClusterResponse, GatewayStats
 from .messages import STATUS_CODES, STATUS_NAMES, decode_message, encode_message
 from .transport import HeartbeatBoard, ShmRing, decode_array, encode_array
 from .worker import build_worker_server, worker_main
 
 __all__ = [
+    "CircuitBreaker",
     "ClusterGateway",
     "ClusterResponse",
     "GatewayStats",
@@ -37,6 +50,11 @@ __all__ = [
     "STATUS_CODES",
     "STATUS_NAMES",
     "ShmRing",
+    "TRANSPORT_FAULT_MODES",
+    "TransportFaultEvent",
+    "TransportFaultInjector",
+    "TransportFaultSchedule",
+    "TransportFaultSpec",
     "build_worker_server",
     "decode_array",
     "decode_message",

@@ -36,6 +36,14 @@ Design points, mirroring the single-server stack one tier up:
   window to empty; ``restart_worker`` respawns the process on fresh
   rings and replays matrix registrations, so rolling restarts lose no
   futures.
+* **Gray failures.**  With ``batch_timeout`` set, a watchdog expires
+  batches whose worker is alive-but-slow and hedges them onto another
+  replica (exponential backoff, deterministic jitter); per-worker
+  circuit breakers (closed -> open -> half-open) fence repeat offenders
+  before the EWMA quarantine trips; duplicate SUBMITs are suppressed
+  worker-side and late/duplicate RESULTS are ignored gateway-side, so
+  nothing ever resolves twice.  With ``auto_restart=True`` a supervisor
+  task respawns dead workers inside a bounded restart budget.
 """
 
 from __future__ import annotations
@@ -51,12 +59,15 @@ import numpy as np
 
 from ...errors import (
     AdmissionError,
+    BatchTimeoutError,
+    CircuitOpenError,
     ClusterError,
     TransportError,
     WorkerFailedError,
 )
 from ...plan.ir import PlanHandle
 from ..integrity import DeviceHealth
+from .faults import CircuitBreaker, TransportFaultSpec
 from .messages import (
     K_ACK,
     K_DRAIN,
@@ -66,6 +77,7 @@ from .messages import (
     K_REGISTERED,
     K_RESULTS,
     K_STOP,
+    K_STRAGGLE,
     K_SUBMIT,
     STATUS_NAMES,
     decode_message,
@@ -110,6 +122,11 @@ class GatewayStats:
     restarts: int = 0
     registration_reuses: int = 0
     transport_errors: int = 0
+    batch_timeouts: int = 0
+    hedged_batches: int = 0
+    duplicate_replies: int = 0
+    circuit_opens: int = 0
+    supervised_restarts: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Point-in-time copy as a plain dict."""
@@ -124,6 +141,11 @@ class GatewayStats:
             "restarts": self.restarts,
             "registration_reuses": self.registration_reuses,
             "transport_errors": self.transport_errors,
+            "batch_timeouts": self.batch_timeouts,
+            "hedged_batches": self.hedged_batches,
+            "duplicate_replies": self.duplicate_replies,
+            "circuit_opens": self.circuit_opens,
+            "supervised_restarts": self.supervised_restarts,
         }
 
 
@@ -140,6 +162,13 @@ class _PendingBatch:
     worker_id: int
     cost: float
     attempted: set = field(default_factory=set)
+    #: Dispatch attempts consumed (original send counts as the first).
+    attempts: int = 0
+    #: Monotonic deadline of the current attempt; None without a
+    #: per-batch timeout configured.
+    deadline: Optional[float] = None
+    #: Monotonic give-up point while parked with no routable target.
+    park_deadline: Optional[float] = None
 
 
 @dataclass
@@ -157,20 +186,25 @@ class _MatrixRecord:
 class _Worker:
     """Gateway-side handle of one worker process and its transport."""
 
-    def __init__(self, worker_id: int) -> None:
+    def __init__(self, worker_id: int,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.worker_id = worker_id
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.requests: Optional[ShmRing] = None
         self.replies: Optional[ShmRing] = None
         self.health = DeviceHealth()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.alive = False
         self.draining = False
+        self.restarting = False
         self.inflight = 0
         self.outstanding_cycles = 0.0
         self.pending: Dict[int, _PendingBatch] = {}
         self.plan_handles: Dict[str, PlanHandle] = {}
         self.last_beats = 0
         self.last_progress = 0.0
+        #: Monotonic timestamps of supervised restarts (budget window).
+        self.restart_times: List[float] = []
 
     @property
     def routable(self) -> bool:
@@ -213,6 +247,18 @@ class ClusterGateway:
         heartbeat_interval: float = 0.05,
         liveness_timeout: float = 5.0,
         control_timeout: float = 60.0,
+        stop_timeout: float = 5.0,
+        batch_timeout: Optional[float] = None,
+        hedge_backoff: float = 2.0,
+        hedge_jitter: float = 0.1,
+        max_attempts: int = 4,
+        breaker_threshold: int = 2,
+        breaker_cooldown: float = 0.5,
+        breaker_max_cooldown: float = 30.0,
+        auto_restart: bool = False,
+        restart_budget: int = 3,
+        restart_window: float = 30.0,
+        transport_faults: Optional[TransportFaultSpec] = None,
         start_method: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
@@ -226,6 +272,18 @@ class ClusterGateway:
             )
         if inflight_window < 1:
             raise ClusterError("inflight_window must be >= 1")
+        if batch_timeout is not None and batch_timeout <= 0:
+            raise ClusterError("batch_timeout must be positive (or None)")
+        if max_attempts < 1:
+            raise ClusterError("max_attempts must be >= 1")
+        if hedge_backoff < 1.0:
+            raise ClusterError("hedge_backoff must be >= 1.0")
+        if stop_timeout <= 0:
+            raise ClusterError("stop_timeout must be positive")
+        if restart_budget < 1 or restart_window <= 0:
+            raise ClusterError(
+                "supervision needs restart_budget >= 1 and restart_window > 0"
+            )
         self.num_workers = num_workers
         self.replication = replication
         self.inflight_window = inflight_window
@@ -234,6 +292,20 @@ class ClusterGateway:
         self.heartbeat_interval = heartbeat_interval
         self.liveness_timeout = liveness_timeout
         self.control_timeout = control_timeout
+        self.stop_timeout = stop_timeout
+        self.batch_timeout = batch_timeout
+        self.hedge_backoff = hedge_backoff
+        self.hedge_jitter = hedge_jitter
+        self.max_attempts = max_attempts
+        self._breaker_args = dict(
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            max_cooldown=breaker_max_cooldown,
+        )
+        self.auto_restart = auto_restart
+        self.restart_budget = restart_budget
+        self.restart_window = restart_window
+        self.transport_faults = transport_faults
         self._spec_base = {
             "num_devices": devices_per_worker,
             "chip": chip,
@@ -254,12 +326,20 @@ class ClusterGateway:
             )
         self._ctx = multiprocessing.get_context(start_method)
         self.stats = GatewayStats()
-        self._workers = [_Worker(index) for index in range(num_workers)]
+        self._workers = [
+            _Worker(index, CircuitBreaker(**self._breaker_args))
+            for index in range(num_workers)
+        ]
         self._matrices: Dict[str, _MatrixRecord] = {}
         self._control: Dict[Tuple, asyncio.Future] = {}
         self._board: Optional[HeartbeatBoard] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._health_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._supervisor_task: Optional[asyncio.Task] = None
+        #: Admitted batches with no routable target right now; the
+        #: watchdog re-tries them until a replica heals or they expire.
+        self._parked: List[_PendingBatch] = []
         self._next_request = 0
         self._next_batch = 0
         self._started = False
@@ -280,6 +360,10 @@ class ClusterGateway:
             self._spawn(worker)
         self._pump_task = asyncio.create_task(self._pump())
         self._health_task = asyncio.create_task(self._health())
+        if self.batch_timeout is not None:
+            self._watchdog_task = asyncio.create_task(self._watchdog())
+        if self.auto_restart:
+            self._supervisor_task = asyncio.create_task(self._supervise())
         try:
             await asyncio.wait_for(
                 asyncio.gather(*ready), timeout=self.control_timeout
@@ -307,6 +391,15 @@ class ClusterGateway:
             response_ring=worker.replies.name,
             board=self._board.name,
         )
+        if self.transport_faults is not None:
+            # Request-direction faults are injected here (this process is
+            # the request ring's producer); the spec rides along so the
+            # worker arms the reply direction on its side of the channel.
+            if "request" in self.transport_faults.directions:
+                self.transport_faults.injector_for(
+                    worker.worker_id, "request"
+                ).attach(worker.requests)
+            spec["transport_faults"] = self.transport_faults.to_spec()
         worker.process = self._ctx.Process(
             target=worker_main, args=(spec,), daemon=True,
             name=f"pum-worker-{worker.worker_id}",
@@ -320,10 +413,14 @@ class ClusterGateway:
         self._closed = True
         if self._health_task is not None:
             self._health_task.cancel()
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
         for worker in self._workers:
             if worker.alive and worker.requests is not None:
                 worker.requests.push(encode_message(K_STOP, {}))
-        deadline = time.monotonic() + 5.0
+        deadline = time.monotonic() + self.stop_timeout
         for worker in self._workers:
             process = worker.process
             if process is None:
@@ -341,15 +438,22 @@ class ClusterGateway:
                 await self._pump_task
             except asyncio.CancelledError:
                 pass
-        if self._health_task is not None:
-            try:
-                await self._health_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._health_task, self._watchdog_task,
+                     self._supervisor_task):
+            if task is not None:
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        for batch in self._parked:
+            self._resolve_batch_failed(
+                batch, "gateway closed with requests parked"
+            )
+        self._parked.clear()
         for worker in self._workers:
             for batch in worker.pending.values():
                 self._resolve_batch_failed(
-                    worker, batch, "gateway closed with requests in flight"
+                    batch, "gateway closed with requests in flight"
                 )
             worker.pending.clear()
             if worker.requests is not None:
@@ -522,6 +626,16 @@ class ClusterGateway:
                 f"no live replica of {name!r} "
                 f"(placement {record.placement})"
             )
+        admitted = [worker for worker in candidates if worker.breaker.allows()]
+        if not admitted:
+            # Replicas are alive but circuit-broken: backpressure, not
+            # death -- a distinct signal so callers can tell "back off"
+            # from "gone", while `except AdmissionError` still catches it.
+            self.stats.shed += n
+            raise CircuitOpenError(
+                worker_ids=[worker.worker_id for worker in candidates]
+            )
+        candidates = admitted
         candidates.sort(key=lambda worker: worker.outstanding_cycles)
         batch = self._make_batch(record, name, vectors, input_bits)
         for worker in candidates:
@@ -570,12 +684,31 @@ class ClusterGateway:
         n = batch.vectors.shape[0]
         batch.worker_id = worker.worker_id
         batch.attempted.add(worker.worker_id)
+        batch.attempts += 1
+        batch.deadline = self._attempt_deadline(batch)
         worker.pending[batch.batch_id] = batch
+        worker.breaker.record_dispatch()
         worker.inflight += n
         worker.outstanding_cycles += batch.cost
         self.stats.submitted += n
         self.stats.batches += 1
         return True
+
+    def _attempt_deadline(self, batch: _PendingBatch) -> Optional[float]:
+        """Deadline of the batch's current attempt, or None when untimed.
+
+        Each attempt gets exponentially more headroom (``hedge_backoff``)
+        so a hedge storm cannot outrun a merely-busy cluster, plus a
+        deterministic jitter derived from ``(batch_id, attempt)`` that
+        de-synchronizes expiries without sacrificing reproducibility.
+        """
+        if self.batch_timeout is None:
+            return None
+        timeout = self.batch_timeout * self.hedge_backoff ** (batch.attempts - 1)
+        spread = float(np.random.default_rng(np.random.SeedSequence(
+            [batch.batch_id, batch.attempts]
+        )).random())
+        return time.monotonic() + timeout * (1.0 + self.hedge_jitter * spread)
 
     # ------------------------------------------------------------------ #
     # Response pump                                                        #
@@ -623,8 +756,13 @@ class ClusterGateway:
             self._resolve(("ready", worker.worker_id), header)
         elif kind == K_ACK:
             if header.get("drain"):
-                self._resolve(("drain", worker.worker_id),
-                              header.get("stats", {}))
+                stats = dict(header.get("stats", {}))
+                stats["duplicates_suppressed"] = header.get(
+                    "duplicates_suppressed", 0
+                )
+                self._resolve(("drain", worker.worker_id), stats)
+            elif header.get("straggle"):
+                self._resolve(("straggle", worker.worker_id), header)
             elif "stopped" in header:
                 self._resolve(("stop", worker.worker_id), True)
             else:
@@ -638,7 +776,7 @@ class ClusterGateway:
             if batch is not None:
                 self._release_window(worker, batch)
                 self._resolve_batch_failed(
-                    worker, batch, header.get("error", "worker error")
+                    batch, header.get("error", "worker error")
                 )
                 return
             # A failed registration must fail its awaiter, not time out.
@@ -656,7 +794,12 @@ class ClusterGateway:
     def _on_results(self, worker: _Worker, header: Dict[str, Any],
                     arrays: Sequence[np.ndarray]) -> None:
         batch = worker.pending.pop(header.get("batch"), None)
-        if batch is None:  # late reply of a batch already retried elsewhere
+        if batch is None:
+            # Reply idempotency: a duplicated frame, or a late reply of a
+            # batch already hedged/retried elsewhere.  The first reply to
+            # land resolved the futures; this one is counted and ignored,
+            # so nothing ever resolves twice.
+            self.stats.duplicate_replies += 1
             return
         statuses, results, latency, energy = arrays
         # The views die with the frame; one copy of the result matrix
@@ -685,6 +828,7 @@ class ClusterGateway:
             else:
                 self.stats.failed += 1
         worker.health.record_ok()
+        worker.breaker.record_success()
 
     def _release_window(self, worker: _Worker, batch: _PendingBatch) -> None:
         worker.inflight = max(0, worker.inflight - batch.vectors.shape[0])
@@ -692,7 +836,7 @@ class ClusterGateway:
             0.0, worker.outstanding_cycles - batch.cost
         )
 
-    def _resolve_batch_failed(self, worker: _Worker, batch: _PendingBatch,
+    def _resolve_batch_failed(self, batch: _PendingBatch,
                               error: str) -> None:
         for index, future in enumerate(batch.futures):
             if future.done():
@@ -700,7 +844,7 @@ class ClusterGateway:
             future.set_result(ClusterResponse(
                 request_id=batch.request_ids[index], name=batch.name,
                 status="failed", result=None,
-                worker_id=worker.worker_id, error=error,
+                worker_id=batch.worker_id, error=error,
             ))
             self.stats.failed += 1
 
@@ -725,6 +869,39 @@ class ClusterGateway:
                 elif now - worker.last_progress > self.liveness_timeout:
                     self._fail_worker(worker, "stale")
 
+    async def _supervise(self) -> None:
+        """Auto-restart dead workers within a bounded budget per window.
+
+        The budget (``restart_budget`` restarts per ``restart_window``
+        seconds, per worker) is what separates supervision from a
+        crash loop: a worker that dies faster than it heals stays down
+        until its window rolls over, and routing treats it like any
+        other dead replica meanwhile.
+        """
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            for worker in self._workers:
+                if worker.alive or worker.restarting or self._closed:
+                    continue
+                if worker.process is None:
+                    continue
+                now = time.monotonic()
+                worker.restart_times = [
+                    stamp for stamp in worker.restart_times
+                    if now - stamp < self.restart_window
+                ]
+                if len(worker.restart_times) >= self.restart_budget:
+                    continue
+                worker.restart_times.append(now)
+                try:
+                    await self.restart_worker(worker.worker_id,
+                                              graceful=False)
+                    self.stats.supervised_restarts += 1
+                except ClusterError:
+                    # The respawn itself failed; the budget entry stands,
+                    # so a worker whose environment is broken cannot spin.
+                    continue
+
     def _fail_worker(self, worker: _Worker, kind: str) -> None:
         """Quarantine ``worker`` and re-home or fail its inflight batches."""
         if not worker.alive:
@@ -733,6 +910,8 @@ class ClusterGateway:
         self.stats.worker_failures += 1
         if worker.health.record_failure():
             worker.health.quarantined = True
+        if worker.breaker.record_failure():
+            self.stats.circuit_opens += 1
         if worker.process is not None and worker.process.is_alive():
             worker.process.terminate()
         reason = WorkerFailedError(worker.worker_id, kind)
@@ -743,7 +922,7 @@ class ClusterGateway:
         for batch in stranded:
             batch.attempted.add(worker.worker_id)
             if not self._retry(batch):
-                self._resolve_batch_failed(worker, batch, str(reason))
+                self._resolve_batch_failed(batch, str(reason))
 
     def _retry(self, batch: _PendingBatch) -> bool:
         """Re-dispatch a stranded batch on a surviving replica.
@@ -761,12 +940,106 @@ class ClusterGateway:
             if worker_id not in batch.attempted
             and self._workers[worker_id].routable
         ]
-        survivors.sort(key=lambda worker: worker.outstanding_cycles)
+        # Retries bypass the breaker too (an admitted future must not be
+        # lost to backpressure), but prefer replicas whose breaker is
+        # closed over ones under suspicion.
+        survivors.sort(key=lambda worker: (
+            not worker.breaker.allows(), worker.outstanding_cycles
+        ))
         for worker in survivors:
             if self._dispatch(worker, batch):
                 self.stats.retried_batches += 1
                 return True
         return False
+
+    # ------------------------------------------------------------------ #
+    # Straggler mitigation: per-batch timeouts and hedged re-dispatch      #
+    # ------------------------------------------------------------------ #
+    async def _watchdog(self) -> None:
+        """Expire overdue batches and hedge them onto another replica.
+
+        This is the *gray*-failure detector, complementary to
+        :meth:`_health`: the health task catches workers that die or stop
+        beating, the watchdog catches workers that keep beating but stop
+        finishing -- a straggler looks perfectly alive to liveness.
+        """
+        interval = max(self.batch_timeout / 4, 0.005)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for worker in self._workers:
+                overdue = [
+                    batch for batch in worker.pending.values()
+                    if batch.deadline is not None and now > batch.deadline
+                ]
+                for batch in overdue:
+                    worker.pending.pop(batch.batch_id, None)
+                    self._release_window(worker, batch)
+                    self.stats.batch_timeouts += 1
+                    if worker.breaker.record_failure():
+                        self.stats.circuit_opens += 1
+                    # Feed the EWMA score but never quarantine from here:
+                    # quarantine has no recovery path short of a restart,
+                    # which is the right response to a dead worker (the
+                    # _health task's call) but not to a slow one -- the
+                    # breaker fences stragglers *with* a half-open way
+                    # back in once they catch up.
+                    worker.health.record_failure()
+                    self._hedge(batch)
+            self._retry_parked(now)
+
+    def _hedge(self, batch: _PendingBatch) -> None:
+        """Re-dispatch a timed-out batch; park it when nowhere is routable.
+
+        Preference order: an unattempted routable replica with a closed
+        breaker, then any routable replica -- including the one that just
+        timed out (at R=1 that is the only copy; the worker's duplicate
+        suppression replays the original reply if the first attempt did
+        finish meanwhile, so re-sending is always safe).
+        """
+        if batch.attempts >= self.max_attempts:
+            self._resolve_batch_failed(batch, str(BatchTimeoutError(
+                batch.worker_id, batch.batch_id, attempts=batch.attempts,
+            )))
+            return
+        record = self._matrices.get(batch.name)
+        replicas = [self._workers[worker_id] for worker_id in
+                    (record.placement if record is not None else [])]
+        fresh = [worker for worker in replicas
+                 if worker.routable and worker.breaker.allows()
+                 and worker.worker_id not in batch.attempted]
+        fallback = [worker for worker in replicas if worker.routable]
+        fresh.sort(key=lambda worker: worker.outstanding_cycles)
+        fallback.sort(key=lambda worker: (
+            not worker.breaker.allows(), worker.outstanding_cycles
+        ))
+        for worker in fresh + fallback:
+            if self._dispatch(worker, batch):
+                self.stats.hedged_batches += 1
+                self.stats.retried_batches += 1
+                return
+        if batch.park_deadline is None:
+            batch.park_deadline = time.monotonic() + \
+                self.batch_timeout * self.max_attempts
+        self._parked.append(batch)
+
+    def _retry_parked(self, now: float) -> None:
+        """Give parked batches another routing attempt (or expire them)."""
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for batch in parked:
+            if batch.park_deadline is not None and now > batch.park_deadline:
+                self._resolve_batch_failed(batch, str(BatchTimeoutError(
+                    batch.worker_id, batch.batch_id, attempts=batch.attempts,
+                    message=(
+                        f"batch {batch.batch_id} expired after "
+                        f"{batch.attempts} attempt(s) with no routable "
+                        f"replica of {batch.name!r}"
+                    ),
+                )))
+                continue
+            self._hedge(batch)
 
     # ------------------------------------------------------------------ #
     # Drain and restart                                                    #
@@ -797,6 +1070,27 @@ class ClusterGateway:
             raise ClusterError(f"worker {worker_id} request ring is full")
         return await asyncio.wait_for(pending, timeout=self.control_timeout)
 
+    async def induce_straggler(self, worker_id: int, batches: int = 1,
+                               seconds: float = 0.5) -> Dict[str, Any]:
+        """Chaos control: make ``worker_id`` sleep before its next batches.
+
+        The worker keeps heartbeating through the sleep, so liveness
+        stays green and only the per-batch ``batch_timeout`` (and the
+        hedging behind it) can route around the slowness -- an on-demand
+        gray failure for tests and chaos drills.  Returns the worker's
+        acknowledgement header.
+        """
+        self._require_running()
+        worker = self._workers[worker_id]
+        pending = self._expect(("straggle", worker_id))
+        frame = encode_message(K_STRAGGLE, {
+            "batches": int(batches), "seconds": float(seconds),
+        })
+        if worker.requests is None or not worker.requests.push(frame):
+            pending.cancel()
+            raise ClusterError(f"worker {worker_id} request ring is full")
+        return await asyncio.wait_for(pending, timeout=self.control_timeout)
+
     async def restart_worker(self, worker_id: int,
                              graceful: bool = True) -> None:
         """Replace ``worker_id``'s process (drain first when graceful).
@@ -808,53 +1102,60 @@ class ClusterGateway:
         """
         self._require_running()
         worker = self._workers[worker_id]
-        if graceful and worker.alive:
-            await self.drain_worker(worker_id)
-            stop = self._expect(("stop", worker_id))
-            if worker.requests is not None and \
-                    worker.requests.push(encode_message(K_STOP, {})):
-                try:
-                    await asyncio.wait_for(stop, timeout=self.control_timeout)
-                except asyncio.TimeoutError:
-                    pass
-            else:
-                stop.cancel()
-            worker.alive = False
-        if worker.process is not None and worker.process.is_alive():
-            worker.process.terminate()
-            worker.process.join(timeout=5.0)
-        for batch in list(worker.pending.values()):
-            batch.attempted.add(worker_id)
-            if not self._retry(batch):
-                self._resolve_batch_failed(
-                    worker, batch, f"worker {worker_id} restarted"
-                )
-        worker.pending.clear()
-        worker.inflight = 0
-        worker.outstanding_cycles = 0.0
-        if worker.requests is not None:
-            worker.requests.close()
-        if worker.replies is not None:
-            worker.replies.close()
-        ready = self._expect(("ready", worker_id))
-        self._spawn(worker)
+        worker.restarting = True
         try:
-            await asyncio.wait_for(ready, timeout=self.control_timeout)
-        except asyncio.TimeoutError:
-            raise ClusterError(
-                f"restarted worker {worker_id} failed to come up within "
-                f"{self.control_timeout}s"
-            ) from None
-        worker.health.reset()
-        worker.health.quarantined = False
-        worker.alive = True
-        worker.draining = False
-        worker.last_beats = 0
-        worker.last_progress = time.monotonic()
-        self.stats.restarts += 1
-        for name, record in self._matrices.items():
-            if worker_id in record.placement:
-                await self._register_on(worker, record, name)
+            if graceful and worker.alive:
+                await self.drain_worker(worker_id)
+                stop = self._expect(("stop", worker_id))
+                if worker.requests is not None and \
+                        worker.requests.push(encode_message(K_STOP, {})):
+                    try:
+                        await asyncio.wait_for(
+                            stop, timeout=self.control_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                else:
+                    stop.cancel()
+                worker.alive = False
+            if worker.process is not None and worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=self.stop_timeout)
+            for batch in list(worker.pending.values()):
+                batch.attempted.add(worker_id)
+                if not self._retry(batch):
+                    self._resolve_batch_failed(
+                        batch, f"worker {worker_id} restarted"
+                    )
+            worker.pending.clear()
+            worker.inflight = 0
+            worker.outstanding_cycles = 0.0
+            if worker.requests is not None:
+                worker.requests.close()
+            if worker.replies is not None:
+                worker.replies.close()
+            ready = self._expect(("ready", worker_id))
+            self._spawn(worker)
+            try:
+                await asyncio.wait_for(ready, timeout=self.control_timeout)
+            except asyncio.TimeoutError:
+                raise ClusterError(
+                    f"restarted worker {worker_id} failed to come up within "
+                    f"{self.control_timeout}s"
+                ) from None
+            worker.health.reset()
+            worker.health.quarantined = False
+            worker.breaker = CircuitBreaker(**self._breaker_args)
+            worker.alive = True
+            worker.draining = False
+            worker.last_beats = 0
+            worker.last_progress = time.monotonic()
+            self.stats.restarts += 1
+            for name, record in self._matrices.items():
+                if worker_id in record.placement:
+                    await self._register_on(worker, record, name)
+        finally:
+            worker.restarting = False
 
     # ------------------------------------------------------------------ #
     # Introspection                                                        #
@@ -868,6 +1169,8 @@ class ClusterGateway:
                 "draining": worker.draining,
                 "quarantined": worker.health.quarantined,
                 "health_score": worker.health.score,
+                "breaker": worker.breaker.state,
+                "breaker_failures": worker.breaker.consecutive_failures,
                 "inflight": worker.inflight,
                 "outstanding_cycles": worker.outstanding_cycles,
                 "matrices": sorted(worker.plan_handles),

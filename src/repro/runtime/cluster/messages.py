@@ -19,6 +19,8 @@ Request kinds (gateway -> worker)::
     DRAIN     header {}          -- flush, reply ACK with a stats snapshot
     STOP      header {}          -- exit the command loop (ACK, then exit)
     PING      header {nonce}     -- liveness probe, reply ACK {nonce}
+    STRAGGLE  header {batches, seconds}  -- chaos: sleep before the next
+              N SUBMITs while still heartbeating (gray failure on demand)
 
 Reply kinds (worker -> gateway)::
 
@@ -51,6 +53,7 @@ __all__ = [
     "K_REGISTERED",
     "K_RESULTS",
     "K_STOP",
+    "K_STRAGGLE",
     "K_SUBMIT",
     "STATUS_CODES",
     "STATUS_NAMES",
@@ -64,6 +67,7 @@ K_SUBMIT = 2
 K_DRAIN = 3
 K_STOP = 4
 K_PING = 5
+K_STRAGGLE = 6
 
 # Replies (worker -> gateway).
 K_READY = 64

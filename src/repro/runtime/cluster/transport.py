@@ -173,6 +173,19 @@ class ShmRing:
             self.capacity = _CTRL.unpack_from(self.shm.buf, 0)[3]
         self._owner = create
         self._data = self.shm.buf[_CTRL_SIZE: _CTRL_SIZE + self.capacity]
+        #: Producer-seam hook: when set, :meth:`push` routes every frame
+        #: through ``fault_injector.on_push`` instead of writing directly
+        #: (see :mod:`repro.runtime.cluster.faults`).  ``None`` -- the
+        #: default -- keeps the hot path a single attribute check.
+        self.fault_injector = None
+        #: ``(position, payload_length)`` of the last frame written by
+        #: :meth:`push_frame`; lets an attached injector corrupt the
+        #: committed bytes in place, after the CRC was computed.
+        self._last_frame: Optional[Tuple[int, int]] = None
+        #: Sequence number of the frame returned by the last successful
+        #: :meth:`peek`; a consumer that sees it jump by more than one has
+        #: observed a skipped (torn/corrupted) frame.
+        self.last_seq: Optional[int] = None
 
     # -- control counters ------------------------------------------------
     @property
@@ -206,6 +219,22 @@ class ShmRing:
     # -- producer side ---------------------------------------------------
     def push(self, parts: Sequence) -> bool:
         """Append one frame made of ``parts`` (buffers); False when full.
+
+        This is the fault-injection seam: with a ``fault_injector``
+        attached the frame is routed through the injector's fault model
+        (which may drop, duplicate, delay, or corrupt it); without one it
+        goes straight to :meth:`push_frame`.  Either way ``False`` means
+        real backpressure and ``True`` means "the send was accepted" --
+        which, like any lossy link, is not a delivery guarantee once an
+        injector is in play.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            return injector.on_push(self, parts)
+        return self.push_frame(parts)
+
+    def push_frame(self, parts: Sequence) -> bool:
+        """The raw frame write behind :meth:`push` (no fault model).
 
         The frame is written contiguously: when it does not fit between
         the write position and the end of the ring, a wrap marker is laid
@@ -249,6 +278,7 @@ class ShmRing:
             self._data, position, length, (seq + 1) & 0xFFFFFFFF, crc
         )
         self._write_head(head + _FRAME.size + length, seq + 1)
+        self._last_frame = (position, length)
         return True
 
     # -- consumer side ---------------------------------------------------
@@ -294,6 +324,7 @@ class ShmRing:
                     f"{position}: CRC mismatch"
                 )
             self._pending = _FRAME.size + length
+            self.last_seq = seq
             return payload
 
     def advance(self) -> None:

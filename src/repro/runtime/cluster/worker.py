@@ -31,14 +31,16 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from typing import Any, Dict, List
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ...core.config import ChipConfig, HctConfig
-from ...errors import ReproError, TransportError
+from ...errors import ReproError, SchedulerError, TransportError
 from ...reram import NoiseConfig
 from ..server import PumServer
+from .faults import TransportFaultSpec
 from .messages import (
     K_ACK,
     K_DRAIN,
@@ -49,6 +51,7 @@ from .messages import (
     K_REGISTERED,
     K_RESULTS,
     K_STOP,
+    K_STRAGGLE,
     K_SUBMIT,
     STATUS_CODES,
     decode_message,
@@ -56,7 +59,13 @@ from .messages import (
 )
 from .transport import HeartbeatBoard, ShmRing
 
-__all__ = ["build_worker_server", "worker_main"]
+__all__ = ["WorkerState", "build_worker_server", "worker_main"]
+
+#: Completed-batch reply frames kept for duplicate suppression.  A dup
+#: can only trail its original by the transport's reorder horizon plus
+#: one hedge round-trip, both of which are a handful of frames -- 64 is
+#: generous without letting result matrices accumulate.
+REPLY_CACHE_FRAMES = 64
 
 #: Idle-poll sleep of the command loop (seconds).  Small enough to stay
 #: invisible next to millisecond batches, large enough not to spin a
@@ -150,10 +159,79 @@ def _result_frame(server: PumServer, header: Dict[str, Any],
     )
 
 
+class WorkerState:
+    """Per-process chaos/idempotency state threaded through the loop.
+
+    * ``reply_cache`` remembers the RESULTS frame of the last
+      :data:`REPLY_CACHE_FRAMES` batches by batch id, so a duplicated or
+      hedged-back SUBMIT *replays* the original reply instead of
+      re-executing -- the dup is byte-identical by construction and the
+      server's stats are not double-counted.
+    * ``straggle_batches`` / ``straggle_seconds`` implement the
+      STRAGGLE chaos command: the next N SUBMITs sleep first, *while
+      heartbeating*, so liveness stays green and only the gateway's
+      per-batch timeout can catch the slowness (a gray failure).
+    """
+
+    def __init__(self) -> None:
+        self.reply_cache: "OrderedDict[int, List[bytes]]" = OrderedDict()
+        self.duplicates_suppressed = 0
+        self.straggle_batches = 0
+        self.straggle_seconds = 0.0
+
+    def cached_reply(self, batch: Optional[int]) -> Optional[List[bytes]]:
+        if batch is None or batch not in self.reply_cache:
+            return None
+        self.duplicates_suppressed += 1
+        return self.reply_cache[batch]
+
+    def remember_reply(self, batch: Optional[int],
+                       reply: List[bytes]) -> None:
+        if batch is None:
+            return
+        self.reply_cache[batch] = reply
+        while len(self.reply_cache) > REPLY_CACHE_FRAMES:
+            self.reply_cache.popitem(last=False)
+
+
+def _drain_batch(server: PumServer, beat: Callable[[], None],
+                 max_ticks: int = 100_000) -> None:
+    """``run_until_idle`` with a heartbeat per tick.
+
+    Beating from *inside* the dispatch loop is what distinguishes a long
+    batch from a hang: the board advances while the scheduler makes
+    progress, so ``liveness_timeout`` measures wedged-ness, not batch
+    length.
+    """
+    for _ in range(max_ticks):
+        if not server.pending:
+            return
+        server.tick()
+        beat()
+    if server.pending:
+        raise SchedulerError(
+            f"queue failed to drain within {max_ticks} ticks "
+            f"({server.pending} requests pending)"
+        )
+
+
 def _handle(server: PumServer, kind: int, header: Dict[str, Any],
-            arrays: List[np.ndarray]) -> List[bytes]:
+            arrays: List[np.ndarray],
+            beat: Optional[Callable[[], None]] = None,
+            state: Optional[WorkerState] = None) -> List[bytes]:
     """Execute one request message; returns the reply frame (or [] to stop)."""
+    beat = beat if beat is not None else (lambda: None)
+    state = state if state is not None else WorkerState()
     if kind == K_SUBMIT:
+        cached = state.cached_reply(header.get("batch"))
+        if cached is not None:
+            return cached
+        if state.straggle_batches > 0:
+            state.straggle_batches -= 1
+            deadline = time.monotonic() + state.straggle_seconds
+            while time.monotonic() < deadline:
+                beat()
+                time.sleep(POLL_INTERVAL)
         name = header["name"]
         # The one copy this side of the boundary: admitted vectors alias
         # the array handed to submit_batch, which must outlive the ring
@@ -162,8 +240,10 @@ def _handle(server: PumServer, kind: int, header: Dict[str, Any],
             name, np.array(arrays[0]),
             input_bits=int(header.get("input_bits", 8)),
         )
-        server.run_until_idle()
-        return _result_frame(server, header, futures)
+        _drain_batch(server, beat)
+        reply = _result_frame(server, header, futures)
+        state.remember_reply(header.get("batch"), reply)
+        return reply
     if kind == K_REGISTER:
         # Lift the matrix out of the ring frame before handing it to the
         # registry, which may keep references past the frame's lifetime.
@@ -185,9 +265,18 @@ def _handle(server: PumServer, kind: int, header: Dict[str, Any],
     if kind == K_DRAIN:
         return encode_message(K_ACK, {
             "drain": True, "stats": server.stats.snapshot(),
+            "duplicates_suppressed": state.duplicates_suppressed,
         })
     if kind == K_PING:
         return encode_message(K_ACK, {"nonce": header.get("nonce")})
+    if kind == K_STRAGGLE:
+        state.straggle_batches = int(header.get("batches", 1))
+        state.straggle_seconds = float(header.get("seconds", 0.0))
+        return encode_message(K_ACK, {
+            "straggle": True,
+            "batches": state.straggle_batches,
+            "seconds": state.straggle_seconds,
+        })
     if kind == K_STOP:
         return []
     raise TransportError(f"unknown message kind {kind}")
@@ -205,13 +294,26 @@ def worker_main(spec: Dict[str, Any]) -> None:
     requests = ShmRing(name=spec["request_ring"], create=False)
     replies = ShmRing(name=spec["response_ring"], create=False)
     board = HeartbeatBoard(name=spec["board"], create=False)
+    state = WorkerState()
+
+    # A chaos campaign ships its TransportFaultSpec in the spawn spec;
+    # the reply direction's injector must live in *this* process because
+    # this process is the reply ring's single producer.
+    faults = spec.get("transport_faults")
+    if faults is not None:
+        fault_spec = TransportFaultSpec.from_spec(faults)
+        if "reply" in fault_spec.directions:
+            fault_spec.injector_for(worker_id, "reply").attach(replies)
+
+    def beat() -> None:
+        board.beat(worker_id)
 
     def send(parts: List[bytes]) -> None:
         # The gateway's inflight window bounds outstanding replies, so a
         # full response ring only means the pump is behind; spin politely
         # and keep beating so the health monitor sees us alive.
         while not replies.push(parts):
-            board.beat(worker_id)
+            beat()
             time.sleep(POLL_INTERVAL)
 
     try:
@@ -237,7 +339,8 @@ def worker_main(spec: Dict[str, Any]) -> None:
         header: Dict[str, Any] = {}
         try:
             kind, header, arrays = decode_message(payload)
-            reply = _handle(server, kind, header, arrays)
+            reply = _handle(server, kind, header, arrays, beat=beat,
+                            state=state)
         except ReproError as exc:
             # A bad message fails *that message* (the gateway resolves its
             # riders), never the worker: the loop stays up.

@@ -29,7 +29,9 @@ from repro.errors import (
     AdmissionError,
     AllocationError,
     ArbiterConflictError,
+    BatchTimeoutError,
     CapacityError,
+    CircuitOpenError,
     ClusterError,
     ConfigurationError,
     DeviceError,
@@ -291,6 +293,33 @@ class TestWorkerFailedErrorFields:
         assert issubclass(WorkerFailedError, ClusterError)
 
 
+class TestBatchTimeoutErrorFields:
+    def test_fields_and_default_message(self):
+        error = BatchTimeoutError(1, batch_id=7, attempts=3)
+        assert error.worker_id == 1
+        assert error.batch_id == 7
+        assert error.attempts == 3
+        assert "batch 7" in str(error)
+        assert "worker 1" in str(error)
+
+    def test_is_a_cluster_error(self):
+        # A gray failure is a *cluster*-tier event, not an admission one:
+        # it fires after admission, while the batch is inflight.
+        assert issubclass(BatchTimeoutError, ClusterError)
+
+
+class TestCircuitOpenErrorFields:
+    def test_fields_and_default_message(self):
+        error = CircuitOpenError(worker_ids=(0, 2))
+        assert error.worker_ids == (0, 2)
+        assert "circuit breaker open" in str(error)
+
+    def test_is_admission_backpressure(self):
+        # Documented contract: existing `except AdmissionError` retry
+        # loops must absorb breaker-open refusals without modification.
+        assert issubclass(CircuitOpenError, AdmissionError)
+
+
 class TestHierarchy:
     """The documented lattice, asserted explicitly."""
 
@@ -316,6 +345,8 @@ class TestHierarchy:
         (ClusterError, ReproError),
         (TransportError, ClusterError),
         (WorkerFailedError, ClusterError),
+        (BatchTimeoutError, ClusterError),
+        (CircuitOpenError, AdmissionError),
     ])
     def test_subclassing(self, child, parent):
         assert issubclass(child, parent)
@@ -335,6 +366,7 @@ class TestHierarchy:
             "DeviceError", "DeviceFailedError", "IntegrityError",
             "RebuildError", "QuantizationError",
             "ClusterError", "TransportError", "WorkerFailedError",
+            "BatchTimeoutError", "CircuitOpenError",
         }
         assert public == covered, (
             "public exceptions changed; update tests/test_errors.py: "
